@@ -1,0 +1,236 @@
+// Command miniperf is the CLI front end of the reproduced tool: it
+// loads one of the built-in workloads onto a simulated platform and
+// runs the profiling verbs from the paper.
+//
+// Verbs:
+//
+//	miniperf platforms
+//	    List the known platforms, their CPU IDs and capabilities.
+//	miniperf stat     -platform x60 -workload sqlite
+//	    Count events around the workload (works on every platform).
+//	miniperf record   -platform x60 -workload sqlite [-freq 4000] [-flame out.svg]
+//	    Sample the workload, print hotspots, optionally render a flame
+//	    graph. On the X60 this exercises the grouping workaround; on
+//	    the U74 it fails with the same error the real tool reports.
+//	miniperf roofline -platform x60 [-n 128] [-tile 32]
+//	    Compile the matmul kernel with the platform's vectorizer
+//	    profile, run the two-phase analysis and print the model.
+//	miniperf topdown  -platform x60 -workload sqlite
+//	    Level-1 Top-Down analysis (the paper's §6 extension): split
+//	    issue slots into retiring / bad speculation / frontend /
+//	    backend bound from the counted events.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mperf/internal/experiments"
+	"mperf/internal/ir"
+	"mperf/internal/isa"
+	"mperf/internal/miniperf"
+	"mperf/internal/platform"
+	"mperf/internal/report"
+	"mperf/internal/tma"
+	"mperf/internal/vm"
+	"mperf/internal/workloads"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "miniperf: %v\n", err)
+	os.Exit(1)
+}
+
+func platformByName(name string) (*platform.Platform, error) {
+	switch name {
+	case "x60":
+		return platform.X60(), nil
+	case "u74":
+		return platform.U74(), nil
+	case "c910":
+		return platform.C910(), nil
+	case "i5", "x86":
+		return platform.I5_1135G7(), nil
+	}
+	return nil, fmt.Errorf("unknown platform %q (x60, u74, c910, i5)", name)
+}
+
+// workloadMachine builds the requested workload and returns the loaded
+// machine plus the entry thunk.
+func workloadMachine(p *platform.Platform, name string) (*vm.Machine, func() error, error) {
+	switch name {
+	case "sqlite":
+		cfg := workloads.DefaultSqliteConfig()
+		mod := ir.NewModule("sqlite3")
+		if _, err := workloads.BuildSqliteSim(mod, cfg); err != nil {
+			return nil, nil, err
+		}
+		m, err := vm.New(p, mod)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := workloads.SeedSqlite(m, cfg); err != nil {
+			return nil, nil, err
+		}
+		return m, func() error { _, err := workloads.RunSqlite(m, cfg); return err }, nil
+	case "matmul":
+		const n, tile = 128, 32
+		mod := ir.NewModule("matmul")
+		if _, err := workloads.BuildMatmul(mod, n, tile); err != nil {
+			return nil, nil, err
+		}
+		m, err := vm.New(p, mod)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := workloads.SeedMatmul(m, n); err != nil {
+			return nil, nil, err
+		}
+		return m, func() error { return workloads.RunMatmul(m, n) }, nil
+	case "dot":
+		const n = 1 << 16
+		mod := ir.NewModule("dot")
+		workloads.BuildDot(mod)
+		mod.NewGlobal("da", ir.F32, n)
+		mod.NewGlobal("db", ir.F32, n)
+		m, err := vm.New(p, mod)
+		if err != nil {
+			return nil, nil, err
+		}
+		workloads.SeedF32(m, "da", n)
+		workloads.SeedF32(m, "db", n)
+		da, _ := m.GlobalAddr("da")
+		db, _ := m.GlobalAddr("db")
+		return m, func() error { _, err := m.Run("dot", da, db, uint64(n)); return err }, nil
+	}
+	return nil, nil, fmt.Errorf("unknown workload %q (sqlite, matmul, dot)", name)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: miniperf <platforms|stat|record|roofline> [flags]")
+		os.Exit(2)
+	}
+	verb := os.Args[1]
+	fs := flag.NewFlagSet(verb, flag.ExitOnError)
+	platName := fs.String("platform", "x60", "target platform: x60, u74, c910, i5")
+	workload := fs.String("workload", "sqlite", "workload: sqlite, matmul, dot")
+	freq := fs.Uint64("freq", 4000, "record: sample frequency in Hz")
+	flame := fs.String("flame", "", "record: write a cycles flame graph SVG here")
+	n := fs.Int("n", 128, "roofline: matmul dimension")
+	tile := fs.Int("tile", 32, "roofline: matmul tile")
+	fs.Parse(os.Args[2:])
+
+	switch verb {
+	case "platforms":
+		t := report.NewTable("Known platforms",
+			"Name", "Board", "ISA", "CPU ID", "Overflow IRQ", "Upstream Linux")
+		for _, p := range platform.Catalog() {
+			t.AddRowCells(p.Name, p.Board, p.TargetISA, p.ID.String(),
+				p.Caps.OverflowIRQ.String(), p.Caps.UpstreamLinux)
+		}
+		fmt.Println(t.String())
+
+	case "stat":
+		p, err := platformByName(*platName)
+		if err != nil {
+			fail(err)
+		}
+		m, run, err := workloadMachine(p, *workload)
+		if err != nil {
+			fail(err)
+		}
+		tool, err := miniperf.Attach(m)
+		if err != nil {
+			fail(err)
+		}
+		res, err := tool.Stat([]isa.EventCode{
+			isa.EventCycles, isa.EventInstructions,
+			isa.EventBranchInstructions, isa.EventBranchMisses,
+			isa.EventCacheReferences, isa.EventCacheMisses,
+		}, run)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Performance counter stats for %q on %s:\n\n", *workload, p.Name)
+		for _, label := range []string{"cycles", "instructions", "branches", "branch-misses",
+			"cache-references", "cache-misses"} {
+			fmt.Printf("  %18s  %s\n", report.Grouped(res.Values[label]), label)
+		}
+		fmt.Printf("\n  %.6f seconds (simulated)\n  %.2f insn per cycle\n",
+			res.ElapsedSeconds, res.IPC())
+
+	case "record":
+		p, err := platformByName(*platName)
+		if err != nil {
+			fail(err)
+		}
+		m, run, err := workloadMachine(p, *workload)
+		if err != nil {
+			fail(err)
+		}
+		tool, err := miniperf.Attach(m)
+		if err != nil {
+			fail(err)
+		}
+		rec, err := tool.Record(miniperf.RecordOptions{FreqHz: *freq}, run)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Sampled %d stacks on %s (leader: %s, lost: %d)\n\n",
+			len(rec.Samples), p.Name, rec.LeaderLabel, rec.Lost)
+		t := report.NewTable("Hotspots", "Function", "Total %", "Cycles", "Instructions", "IPC")
+		for _, h := range rec.Hotspots() {
+			t.AddRowCells(h.Function, fmt.Sprintf("%.2f%%", h.TotalPct),
+				report.Grouped(h.Cycles), report.Grouped(h.Instructions),
+				fmt.Sprintf("%.2f", h.IPC))
+		}
+		fmt.Println(t.String())
+		g := rec.FlameGraph(*workload+" on "+p.Name, miniperf.MetricCycles)
+		fmt.Println(g.ASCII(100))
+		if *flame != "" {
+			if err := os.WriteFile(*flame, []byte(g.SVG(1000)), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *flame)
+		}
+
+	case "roofline":
+		res, err := experiments.RunFigure4(*n, *tile)
+		if err != nil {
+			fail(err)
+		}
+		p, err := platformByName(*platName)
+		if err != nil {
+			fail(err)
+		}
+		switch p.Name {
+		case "SpacemiT X60":
+			fmt.Println(res.X60Model.Summary())
+			fmt.Println(res.X60Model.ASCIIPlot(100, 20))
+		default:
+			fmt.Println(res.X86Model.Summary())
+			fmt.Println(res.X86Model.ASCIIPlot(100, 20))
+		}
+
+	case "topdown":
+		p, err := platformByName(*platName)
+		if err != nil {
+			fail(err)
+		}
+		m, run, err := workloadMachine(p, *workload)
+		if err != nil {
+			fail(err)
+		}
+		b, err := tma.Measure(m, run)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Top-Down analysis of %q on %s\n\n%s", *workload, p.Name, b.String())
+
+	default:
+		fmt.Fprintf(os.Stderr, "miniperf: unknown verb %q\n", verb)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,95 @@
+// Command repro regenerates the paper's tables and figures on the
+// simulated platforms and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	repro [-experiment all|table1|table2|fig3|fig4] [-n 128] [-tile 32] [-out DIR]
+//
+// With -out, the flame graphs (Fig 3) and roofline charts (Fig 4) are
+// also written as SVG files into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mperf/internal/experiments"
+	"mperf/internal/workloads"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, fig3, fig4")
+	n := flag.Int("n", 128, "matmul matrix dimension (multiple of tile)")
+	tile := flag.Int("tile", 32, "matmul tile size (multiple of 8)")
+	queries := flag.Int("queries", 3, "sqlite workload query count")
+	rows := flag.Int("rows", 100, "sqlite workload rows per query")
+	out := flag.String("out", "", "directory for SVG artifacts (optional)")
+	flag.Parse()
+
+	cfg := workloads.DefaultSqliteConfig()
+	cfg.Queries = *queries
+	cfg.Rows = *rows
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		res := experiments.RunTable1()
+		fmt.Println(res.Text)
+		return nil
+	})
+	run("table2", func() error {
+		res, err := experiments.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Text)
+		return nil
+	})
+	run("fig3", func() error {
+		res, err := experiments.RunFigure3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Text)
+		if *out != "" {
+			for key, g := range res.Graphs {
+				path := filepath.Join(*out, "fig3-"+key+".svg")
+				if err := os.WriteFile(path, []byte(g.SVG(1000)), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+		return nil
+	})
+	run("fig4", func() error {
+		res, err := experiments.RunFigure4(*n, *tile)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Text)
+		if *out != "" {
+			for name, model := range map[string]interface{ SVGPlot(int, int) string }{
+				"fig4-x86": res.X86Model,
+				"fig4-x60": res.X60Model,
+			} {
+				path := filepath.Join(*out, name+".svg")
+				if err := os.WriteFile(path, []byte(model.SVGPlot(640, 420)), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,34 @@
+// hotspots reproduces the §5.1 study interactively: the synthetic
+// sqlite3 workload is profiled on the SpacemiT X60 and the x86
+// reference, the per-function hotspot table (Table 2) is printed, and
+// both cycle flame graphs (Figure 3) are rendered as ASCII art.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mperf/internal/experiments"
+	"mperf/internal/workloads"
+)
+
+func main() {
+	cfg := workloads.DefaultSqliteConfig()
+	cfg.Queries = 3
+	cfg.Rows = 120
+
+	t2, err := experiments.RunTable2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t2.Text)
+
+	f3, err := experiments.RunFigure3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f3.Graphs["x60-cycles"].ASCII(100))
+	fmt.Println(f3.Graphs["i5-cycles"].ASCII(100))
+	fmt.Println("Note: the instruction-metric graphs (the paper's under-")
+	fmt.Println("optimization lens) are available via cmd/repro -experiment fig3.")
+}

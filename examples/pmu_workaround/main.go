@@ -1,0 +1,73 @@
+// pmu_workaround demonstrates the paper's first contribution at the
+// syscall level: on the SpacemiT X60, opening a sampling "cycles"
+// event fails with EOPNOTSUPP (the documented hardware defect), while
+// miniperf's automatic grouping — a sampling-capable u_mode_cycle
+// leader with cycles and instructions as counting members — delivers
+// full IPC-capable samples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mperf/internal/ir"
+	"mperf/internal/isa"
+	"mperf/internal/kernel"
+	"mperf/internal/miniperf"
+	"mperf/internal/platform"
+	"mperf/internal/vm"
+	"mperf/internal/workloads"
+)
+
+func main() {
+	cfg := workloads.DefaultSqliteConfig()
+	mod := ir.NewModule("sqlite3")
+	if _, err := workloads.BuildSqliteSim(mod, cfg); err != nil {
+		log.Fatal(err)
+	}
+	m, err := vm.New(platform.X60(), mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := workloads.SeedSqlite(m, cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: what standard perf would do — and how the hardware says no.
+	fmt.Println("== standard approach: sampling the cycles event directly ==")
+	_, err = m.Kernel().PerfEventOpen(kernel.EventAttr{
+		Label:        "cycles",
+		Config:       isa.EventCycles,
+		SamplePeriod: 100_000,
+		SampleType:   kernel.SampleIP,
+	}, -1)
+	fmt.Printf("perf_event_open(cycles, sampling): %v\n\n", err)
+
+	// Step 2: the miniperf workaround.
+	fmt.Println("== miniperf: auto-grouped sampling under u_mode_cycle ==")
+	tool, err := miniperf.Attach(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := tool.Record(miniperf.RecordOptions{FreqHz: 20_000}, func() error {
+		_, err := workloads.RunSqlite(m, cfg)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampling leader: %s\n", rec.LeaderLabel)
+	fmt.Printf("samples collected: %d (lost: %d)\n\n", len(rec.Samples), rec.Lost)
+
+	if len(rec.Samples) > 0 {
+		s := rec.Samples[len(rec.Samples)-1]
+		fmt.Println("last sample's group read (the workaround's payload):")
+		for _, v := range s.Group {
+			fmt.Printf("  %-14s %12d\n", v.Label, v.Value)
+		}
+		if len(s.Group) == 3 && s.Group[1].Value > 0 {
+			fmt.Printf("derived IPC: %.2f\n",
+				float64(s.Group[2].Value)/float64(s.Group[1].Value))
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a small kernel in the mini-IR, load it onto a
+// simulated SpacemiT X60, and count cycles/instructions around it with
+// miniperf — the five-minute tour of the toolchain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mperf/internal/ir"
+	"mperf/internal/isa"
+	"mperf/internal/miniperf"
+	"mperf/internal/platform"
+	"mperf/internal/vm"
+	"mperf/internal/workloads"
+)
+
+func main() {
+	// 1. Build a module: a dot product over 64k floats.
+	const n = 1 << 16
+	mod := ir.NewModule("quickstart")
+	workloads.BuildDot(mod)
+	mod.NewGlobal("a", ir.F32, n)
+	mod.NewGlobal("b", ir.F32, n)
+
+	// 2. Load it onto a simulated X60 hart.
+	m, err := vm.New(platform.X60(), mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads.SeedF32(m, "a", n)
+	workloads.SeedF32(m, "b", n)
+	a, _ := m.GlobalAddr("a")
+	b, _ := m.GlobalAddr("b")
+
+	// 3. Attach miniperf (platform detection via CPU ID registers).
+	tool, err := miniperf.Attach(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected platform: %s (%s)\n\n", tool.Platform().Name, tool.Platform().ID)
+
+	// 4. Count events around the kernel.
+	res, err := tool.Stat([]isa.EventCode{
+		isa.EventCycles, isa.EventInstructions, isa.EventCacheMisses,
+	}, func() error {
+		_, err := m.Run("dot", a, b, uint64(n))
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycles:        %d\n", res.Values["cycles"])
+	fmt.Printf("instructions:  %d\n", res.Values["instructions"])
+	fmt.Printf("cache misses:  %d\n", res.Values["cache-misses"])
+	fmt.Printf("IPC:           %.2f\n", res.IPC())
+	fmt.Printf("elapsed:       %.3f ms (simulated at %.1f GHz)\n",
+		res.ElapsedSeconds*1e3, tool.Platform().Core.FreqHz/1e9)
+}

@@ -1,0 +1,368 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section on the simulated platforms. Each
+// experiment returns both structured data (asserted by tests and
+// compared against paper values in EXPERIMENTS.md) and rendered text.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mperf/internal/flamegraph"
+	"mperf/internal/ir"
+	"mperf/internal/miniperf"
+	"mperf/internal/passes"
+	"mperf/internal/platform"
+	"mperf/internal/report"
+	"mperf/internal/roofline"
+	"mperf/internal/vm"
+	"mperf/internal/workloads"
+)
+
+// Table1 reproduces the platform capability survey.
+type Table1 struct {
+	Platforms []*platform.Platform
+	Text      string
+}
+
+// RunTable1 renders Table 1 from the platform catalog (the RISC-V
+// entries, as the paper's table lists only those three).
+func RunTable1() *Table1 {
+	var riscv []*platform.Platform
+	for _, p := range platform.Catalog() {
+		if p.ID.MVendorID != 0x8086 {
+			riscv = append(riscv, p)
+		}
+	}
+	t := report.NewTable("Table 1: Comparison of available RISC-V hardware capabilities",
+		"Core", "Out-of-Order", "RVV version", "Overflow interrupt", "Upstream Linux")
+	for _, p := range riscv {
+		ooo := "No"
+		if p.Caps.OutOfOrder {
+			ooo = "Yes"
+		}
+		t.AddRowCells(p.Name, ooo, p.Caps.RVVVersion, p.Caps.OverflowIRQ.String(), p.Caps.UpstreamLinux)
+	}
+	return &Table1{Platforms: riscv, Text: t.String()}
+}
+
+// sqliteSession runs the sqlite workload under miniperf on a platform.
+type sqliteSession struct {
+	Platform  *platform.Platform
+	Recording *miniperf.Recording
+	Hotspots  []miniperf.Hotspot
+	IPC       float64
+}
+
+func runSqliteOn(p *platform.Platform, cfg workloads.SqliteConfig) (*sqliteSession, error) {
+	mod := ir.NewModule("sqlite3")
+	if _, err := workloads.BuildSqliteSim(mod, cfg); err != nil {
+		return nil, err
+	}
+	m, err := vm.New(p, mod)
+	if err != nil {
+		return nil, err
+	}
+	if err := workloads.SeedSqlite(m, cfg); err != nil {
+		return nil, err
+	}
+	tool, err := miniperf.Attach(m)
+	if err != nil {
+		return nil, err
+	}
+	// Scale the sampling rate with clock frequency so faster platforms
+	// (which finish the fixed workload in less simulated time) collect
+	// a comparable number of samples.
+	freq := uint64(40_000 * p.Core.FreqHz / 1.6e9)
+	rec, err := tool.Record(miniperf.RecordOptions{FreqHz: freq}, func() error {
+		_, err := workloads.RunSqlite(m, cfg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := m.Hart().Core.Stats()
+	return &sqliteSession{
+		Platform:  p,
+		Recording: rec,
+		Hotspots:  rec.Hotspots(),
+		IPC:       st.IPC(),
+	}, nil
+}
+
+// Table2 reproduces the sqlite3 hotspot study.
+type Table2 struct {
+	X60, I5       *sqliteSession
+	X60Top, I5Top []miniperf.Hotspot
+	Text          string
+}
+
+// TopHotspots returns the first n hotspots of a session.
+func topN(hs []miniperf.Hotspot, n int) []miniperf.Hotspot {
+	if len(hs) < n {
+		n = len(hs)
+	}
+	return hs[:n]
+}
+
+// RunTable2 profiles the synthetic sqlite3 workload on the X60 and the
+// x86 reference and reports the top-3 hotspots with Total %,
+// instructions and IPC, as the paper's Table 2 does.
+func RunTable2(cfg workloads.SqliteConfig) (*Table2, error) {
+	x60, err := runSqliteOn(platform.X60(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: X60 session: %w", err)
+	}
+	i5, err := runSqliteOn(platform.I5_1135G7(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: i5 session: %w", err)
+	}
+	res := &Table2{
+		X60: x60, I5: i5,
+		X60Top: topN(x60.Hotspots, 3),
+		I5Top:  topN(i5.Hotspots, 3),
+	}
+	t := report.NewTable("Table 2: Top hotspots from the sqlite3 benchmark",
+		"Function", "X60 Total%", "X60 Instructions", "X60 IPC",
+		"i5 Total%", "i5 Instructions", "i5 IPC")
+	i5ByName := make(map[string]miniperf.Hotspot)
+	for _, h := range i5.Hotspots {
+		i5ByName[h.Function] = h
+	}
+	for _, h := range res.X60Top {
+		other := i5ByName[h.Function]
+		t.AddRowCells(h.Function,
+			fmt.Sprintf("%.2f%%", h.TotalPct), report.Grouped(h.Instructions), fmt.Sprintf("%.2f", h.IPC),
+			fmt.Sprintf("%.2f%%", other.TotalPct), report.Grouped(other.Instructions), fmt.Sprintf("%.2f", other.IPC))
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "\nWhole-program IPC: SpacemiT X60 %.2f (paper: 0.86), i5-1135G7 %.2f (paper: 3.38)\n",
+		x60.IPC, i5.IPC)
+	res.Text = sb.String()
+	return res, nil
+}
+
+// Figure3 reproduces the four flame graphs: {X60, x86} × {cycles,
+// instructions}.
+type Figure3 struct {
+	Graphs map[string]*flamegraph.Graph // keys: "x60-cycles", ...
+	Text   string
+}
+
+// RunFigure3 renders the flame graphs from the Table 2 recordings.
+func RunFigure3(cfg workloads.SqliteConfig) (*Figure3, error) {
+	x60, err := runSqliteOn(platform.X60(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	i5, err := runSqliteOn(platform.I5_1135G7(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3{Graphs: map[string]*flamegraph.Graph{
+		"x60-cycles":       x60.Recording.FlameGraph("SpacemiT X60", miniperf.MetricCycles),
+		"x60-instructions": x60.Recording.FlameGraph("SpacemiT X60", miniperf.MetricInstructions),
+		"i5-cycles":        i5.Recording.FlameGraph("Intel Core i5-1135G7", miniperf.MetricCycles),
+		"i5-instructions":  i5.Recording.FlameGraph("Intel Core i5-1135G7", miniperf.MetricInstructions),
+	}}
+	var sb strings.Builder
+	sb.WriteString("Figure 3: Flame graphs for the sqlite3 benchmark\n\n")
+	for _, key := range []string{"x60-cycles", "x60-instructions", "i5-cycles", "i5-instructions"} {
+		sb.WriteString(res.Graphs[key].ASCII(100))
+		sb.WriteByte('\n')
+	}
+	res.Text = sb.String()
+	return res, nil
+}
+
+// Figure4 reproduces the roofline study of the tiled matmul kernel.
+type Figure4 struct {
+	N, Tile int
+
+	// X86 methodology comparison (Fig 4a–c).
+	X86Model     *roofline.Model
+	MiniperfX86  roofline.Point // compiler-driven measurement
+	SelfReported roofline.Point // the benchmark's own GFLOP/s
+	AdvisorLike  roofline.Point // PMU-counter estimate
+
+	// X60 model (Fig 4d).
+	X60Model    *roofline.Model
+	MiniperfX60 roofline.Point
+	// MemsetBytesPerCycle is the measured X60 store bandwidth behind
+	// the memory roof (§5.2 cites 3.16).
+	MemsetBytesPerCycle float64
+
+	Text string
+}
+
+// buildMatmulMachine compiles the kernel for a platform with the given
+// pipeline options and loads it.
+func buildMatmulMachine(p *platform.Platform, n, tile int, instrument bool) (*vm.Machine, *passes.PipelineResult, error) {
+	mod := ir.NewModule("matmul")
+	if _, err := workloads.BuildMatmul(mod, n, tile); err != nil {
+		return nil, nil, err
+	}
+	profile, err := passes.ProfileByName(p.VectorizerProfile)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := passes.RunPipeline(mod, passes.PipelineOptions{
+		Profile:    profile,
+		Lanes:      p.Core.VectorLanes32,
+		Interleave: true,
+		Instrument: instrument,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := vm.New(p, mod)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := workloads.SeedMatmul(m, n); err != nil {
+		return nil, nil, err
+	}
+	return m, res, nil
+}
+
+func matmulArgs(m *vm.Machine, n int) []uint64 {
+	a, _ := m.GlobalAddr("A")
+	b, _ := m.GlobalAddr("B")
+	c, _ := m.GlobalAddr("C")
+	return []uint64{a, b, c, uint64(n)}
+}
+
+// RunFigure4 performs the full roofline comparison.
+func RunFigure4(n, tile int) (*Figure4, error) {
+	res := &Figure4{N: n, Tile: tile}
+	i5 := platform.I5_1135G7()
+	x60 := platform.X60()
+
+	// --- x86: miniperf (compiler-driven, two-phase). ---
+	mi, _, err := buildMatmulMachine(i5, n, tile, true)
+	if err != nil {
+		return nil, err
+	}
+	two, err := roofline.RunTwoPhase(mi, "matmul", matmulArgs(mi, n))
+	if err != nil {
+		return nil, err
+	}
+	lr, ok := two.LoopByFunc("matmul")
+	if !ok {
+		return nil, fmt.Errorf("experiments: matmul region not measured")
+	}
+	res.MiniperfX86 = roofline.Point{Name: "matmul (miniperf)", AI: lr.AI, GFLOPS: lr.GFLOPS, Source: "miniperf (IR)"}
+
+	// --- x86: the benchmark's self-reported figure (nominal 2n³ FLOPs
+	// over its own wall time, on an uninstrumented build). ---
+	ms, _, err := buildMatmulMachine(i5, n, tile, false)
+	if err != nil {
+		return nil, err
+	}
+	start := ms.Cycles()
+	if err := workloads.RunMatmul(ms, n); err != nil {
+		return nil, err
+	}
+	selfSec := float64(ms.Cycles()-start) / ms.FreqHz()
+	res.SelfReported = roofline.Point{
+		Name:   "matmul (self-reported)",
+		AI:     lr.AI, // plotted at the same intensity
+		GFLOPS: float64(workloads.MatmulFLOPs(n)) / selfSec / 1e9,
+		Source: "self-reported",
+	}
+
+	// --- x86: Advisor-style PMU estimate on an uninstrumented build. ---
+	mp, _, err := buildMatmulMachine(i5, n, tile, false)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := roofline.PMUEstimate(mp, "matmul (Advisor-like)", func() error {
+		return workloads.RunMatmul(mp, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.AdvisorLike = adv
+
+	res.X86Model = &roofline.Model{
+		Platform: i5.Name,
+		Compute: []roofline.ComputeCeiling{
+			{Name: "SP vector FMA peak (2×8×2×4.2GHz)", GFLOPS: i5.TheoreticalPeakGFLOPS},
+		},
+		Memory: []roofline.MemoryCeiling{
+			// Cache-aware ceilings (the CARM view of Fig 4b): L1 at two
+			// 32-byte vector accesses per cycle, then the DRAM channel.
+			{Name: "L1 (2×32B/cycle)", GiBps: 64 * i5.Core.FreqHz / (1 << 30)},
+			{Name: "DRAM (model channel)", GiBps: i5.Core.Mem.DRAM.BytesPerCycle * i5.Core.FreqHz / (1 << 30)},
+		},
+	}
+	res.X86Model.AddPoint(res.MiniperfX86)
+	res.X86Model.AddPoint(res.SelfReported)
+	res.X86Model.AddPoint(res.AdvisorLike)
+
+	// --- X60: memset-derived memory roof. The reference memset is
+	// RVV-vectorized (the rvv-bench implementation is hand-written
+	// vector code), so the kernel goes through the conservative
+	// pipeline, which does vectorize plain store loops. ---
+	msetMod := ir.NewModule("memset")
+	workloads.BuildMemset(msetMod)
+	// 8 MiB: large enough that retained-dirty lines in the cache are
+	// negligible against the streamed traffic.
+	const words = 1 << 20
+	msetMod.NewGlobal("buf", ir.I64, words)
+	if _, err := passes.RunPipeline(msetMod, passes.PipelineOptions{
+		Profile: passes.VecConservative, Lanes: x60.Core.VectorLanes32,
+	}); err != nil {
+		return nil, err
+	}
+	mm, err := vm.New(x60, msetMod)
+	if err != nil {
+		return nil, err
+	}
+	bpc, err := workloads.MemsetStoredBytesPerCycle(mm, "buf", words)
+	if err != nil {
+		return nil, err
+	}
+	res.MemsetBytesPerCycle = bpc
+
+	// --- X60: miniperf two-phase on the scalar build. ---
+	mx, _, err := buildMatmulMachine(x60, n, tile, true)
+	if err != nil {
+		return nil, err
+	}
+	twoX, err := roofline.RunTwoPhase(mx, "matmul", matmulArgs(mx, n))
+	if err != nil {
+		return nil, err
+	}
+	lrX, ok := twoX.LoopByFunc("matmul")
+	if !ok {
+		return nil, fmt.Errorf("experiments: X60 matmul region not measured")
+	}
+	res.MiniperfX60 = roofline.Point{Name: "matmul (miniperf)", AI: lrX.AI, GFLOPS: lrX.GFLOPS, Source: "miniperf (IR)"}
+
+	res.X60Model = &roofline.Model{
+		Platform: x60.Name,
+		Compute: []roofline.ComputeCeiling{
+			{Name: "theoretical peak (2×8×1.6GHz)", GFLOPS: x60.TheoreticalPeakGFLOPS},
+		},
+		Memory: []roofline.MemoryCeiling{
+			{Name: fmt.Sprintf("memset-derived DRAM (%.2f B/cyc)", bpc),
+				GiBps: bpc * x60.Core.FreqHz / (1 << 30)},
+		},
+	}
+	res.X60Model.AddPoint(res.MiniperfX60)
+
+	var sb strings.Builder
+	sb.WriteString("Figure 4: Roofline model for the matmul kernel\n\n")
+	sb.WriteString(res.X86Model.Summary())
+	sb.WriteByte('\n')
+	sb.WriteString(res.X86Model.ASCIIPlot(100, 20))
+	sb.WriteByte('\n')
+	sb.WriteString(res.X60Model.Summary())
+	sb.WriteByte('\n')
+	sb.WriteString(res.X60Model.ASCIIPlot(100, 20))
+	fmt.Fprintf(&sb, "\nPaper values: miniperf 34.06 GFLOP/s, self-reported 33.0, Advisor 47.72 (x86); X60 1.58 GFLOP/s against 25.6 GFLOP/s / 4.7 GB/s roofs; memset 3.16 B/cycle.\n")
+	res.Text = sb.String()
+	return res, nil
+}

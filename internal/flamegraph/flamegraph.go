@@ -1,0 +1,326 @@
+// Package flamegraph folds sampled call stacks and renders flame
+// graphs (Brendan Gregg's visualization, §5.1 of the paper) as SVG or
+// as ASCII art for terminals. The x-axis is the stack-profile
+// population — frames are sorted to maximize merging — and the y-axis
+// is stack depth.
+package flamegraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stack is one sampled call stack, root first, with a sample weight
+// (typically the sampling period, so weights approximate cycles or
+// instructions).
+type Stack struct {
+	Frames []string
+	Weight uint64
+}
+
+// node is one frame in the merged trie.
+type node struct {
+	name     string
+	total    uint64 // weight of this frame and everything above it
+	self     uint64 // weight ending exactly here
+	children map[string]*node
+}
+
+func newNode(name string) *node {
+	return &node{name: name, children: make(map[string]*node)}
+}
+
+// Graph is a folded, merged flame graph.
+type Graph struct {
+	root  *node
+	Title string
+	// Metric names the sampled quantity ("cycles", "instructions").
+	Metric string
+}
+
+// New builds a graph from sampled stacks.
+func New(title, metric string, stacks []Stack) *Graph {
+	g := &Graph{root: newNode("root"), Title: title, Metric: metric}
+	for _, s := range stacks {
+		g.Add(s)
+	}
+	return g
+}
+
+// Add merges one stack into the graph.
+func (g *Graph) Add(s Stack) {
+	if len(s.Frames) == 0 {
+		return
+	}
+	n := g.root
+	n.total += s.Weight
+	for _, f := range s.Frames {
+		child, ok := n.children[f]
+		if !ok {
+			child = newNode(f)
+			n.children[f] = child
+		}
+		child.total += s.Weight
+		n = child
+	}
+	n.self += s.Weight
+}
+
+// Total returns the total sampled weight.
+func (g *Graph) Total() uint64 { return g.root.total }
+
+// Folded renders the collapsed-stack format consumed by the original
+// flamegraph.pl toolchain: one "frame;frame;frame weight" line per
+// unique stack, sorted for determinism.
+func (g *Graph) Folded() string {
+	var lines []string
+	var walk func(n *node, prefix string)
+	walk = func(n *node, prefix string) {
+		name := n.name
+		path := name
+		if prefix != "" {
+			path = prefix + ";" + name
+		}
+		if n.self > 0 {
+			lines = append(lines, fmt.Sprintf("%s %d", path, n.self))
+		}
+		for _, c := range sortedChildren(n) {
+			walk(c, path)
+		}
+	}
+	for _, c := range sortedChildren(g.root) {
+		walk(c, "")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func sortedChildren(n *node) []*node {
+	out := make([]*node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	// Alphabetical order maximizes merging stability, as the paper
+	// describes for the x-axis.
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// FrameTotal returns the total weight attributed to a function across
+// all stacks (inclusive of callees).
+func (g *Graph) FrameTotal(name string) uint64 {
+	var sum uint64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.name == name {
+			sum += n.total
+			return // do not double count nested recursion
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(g.root)
+	return sum
+}
+
+// SelfWeights returns per-function self weight (exclusive time),
+// sorted descending — the hotspot list behind Table 2.
+func (g *Graph) SelfWeights() []FrameWeight {
+	acc := make(map[string]uint64)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n != g.root && n.self > 0 {
+			acc[n.name] += n.self
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(g.root)
+	out := make([]FrameWeight, 0, len(acc))
+	for name, w := range acc {
+		out = append(out, FrameWeight{Name: name, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FrameWeight pairs a function with a sample weight.
+type FrameWeight struct {
+	Name   string
+	Weight uint64
+}
+
+// ASCII renders the flame graph as fixed-width text, one row per
+// depth, bottom row first — readable in a terminal and stable for
+// golden tests.
+func (g *Graph) ASCII(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if g.root.total == 0 {
+		return fmt.Sprintf("%s (%s): no samples\n", g.Title, g.Metric)
+	}
+	type span struct {
+		start, width int
+		name         string
+	}
+	var rows [][]span
+	var layout func(n *node, depth, start, width int)
+	layout = func(n *node, depth, start, width int) {
+		if width <= 0 {
+			return
+		}
+		for len(rows) <= depth {
+			rows = append(rows, nil)
+		}
+		rows[depth] = append(rows[depth], span{start: start, width: width, name: n.name})
+		pos := start
+		// Children are laid out proportionally; self weight leaves a gap.
+		for _, c := range sortedChildren(n) {
+			w := int(float64(width) * float64(c.total) / float64(n.total))
+			if w == 0 && c.total > 0 {
+				w = 1
+			}
+			if pos+w > start+width {
+				w = start + width - pos
+			}
+			layout(c, depth+1, pos, w)
+			pos += w
+		}
+	}
+	for _, c := range sortedChildren(g.root) {
+		w := int(float64(width) * float64(c.total) / float64(g.root.total))
+		if w == 0 {
+			w = 1
+		}
+		layout(c, 0, 0, w)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s flame graph (total %d)\n", g.Title, g.Metric, g.Total())
+	for d := len(rows) - 1; d >= 0; d-- {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for _, sp := range rows[d] {
+			drawSpan(line, sp.start, sp.width, sp.name)
+		}
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func drawSpan(line []byte, start, width int, name string) {
+	if width <= 0 || start >= len(line) {
+		return
+	}
+	end := start + width
+	if end > len(line) {
+		end = len(line)
+	}
+	for i := start; i < end; i++ {
+		line[i] = '-'
+	}
+	if start < len(line) {
+		line[start] = '['
+	}
+	if end-1 < len(line) && end-1 >= start {
+		line[end-1] = ']'
+	}
+	label := name
+	if len(label) > width-2 {
+		if width > 3 {
+			label = label[:width-2]
+		} else {
+			label = ""
+		}
+	}
+	copy(line[start+1:], label)
+}
+
+// SVG renders the interactive-style SVG flame graph.
+func (g *Graph) SVG(width int) string {
+	const rowH = 16
+	if width < 100 {
+		width = 100
+	}
+	var rects []string
+	depthMax := 0
+	var layout func(n *node, depth int, x, w float64)
+	layout = func(n *node, depth int, x, w float64) {
+		if w <= 0 {
+			return
+		}
+		if depth > depthMax {
+			depthMax = depth
+		}
+		color := colorFor(n.name)
+		label := n.name
+		if int(w) < len(label)*7 {
+			max := int(w) / 7
+			if max < len(label) {
+				label = label[:max]
+			}
+		}
+		rects = append(rects, fmt.Sprintf(
+			`<g><rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="white"/>`+
+				`<title>%s (%d %s, %.2f%%)</title>`+
+				`<text x="%.1f" y="%d" font-size="11" font-family="monospace">%s</text></g>`,
+			x, depth*rowH, w, rowH-1, color,
+			xmlEscape(n.name), n.total, g.Metric, 100*float64(n.total)/float64(g.root.total),
+			x+2, depth*rowH+12, xmlEscape(label)))
+		pos := x
+		for _, c := range sortedChildren(n) {
+			cw := w * float64(c.total) / float64(n.total)
+			layout(c, depth+1, pos, cw)
+			pos += cw
+		}
+	}
+	if g.root.total > 0 {
+		pos := 0.0
+		for _, c := range sortedChildren(g.root) {
+			w := float64(width) * float64(c.total) / float64(g.root.total)
+			layout(c, 0, pos, w)
+			pos += w
+		}
+	}
+	height := (depthMax+2)*rowH + 24
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, width, height)
+	fmt.Fprintf(&sb, `<text x="4" y="%d" font-size="12" font-family="sans-serif">%s — %s</text>`,
+		height-8, xmlEscape(g.Title), xmlEscape(g.Metric))
+	for _, r := range rects {
+		sb.WriteString(r)
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+// colorFor deterministically assigns a warm palette color per name.
+func colorFor(name string) string {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	r := 205 + int(h%50)
+	gr := 60 + int((h>>8)%120)
+	b := 30 + int((h>>16)%40)
+	return fmt.Sprintf("rgb(%d,%d,%d)", r, gr, b)
+}
+
+func xmlEscape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,169 @@
+package flamegraph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleStacks() []Stack {
+	return []Stack{
+		{Frames: []string{"main", "parse", "lex"}, Weight: 30},
+		{Frames: []string{"main", "parse"}, Weight: 10},
+		{Frames: []string{"main", "exec", "step"}, Weight: 50},
+		{Frames: []string{"main", "exec"}, Weight: 10},
+	}
+}
+
+func TestTotals(t *testing.T) {
+	g := New("test", "cycles", sampleStacks())
+	if g.Total() != 100 {
+		t.Errorf("total = %d, want 100", g.Total())
+	}
+	if got := g.FrameTotal("main"); got != 100 {
+		t.Errorf("main total = %d, want 100", got)
+	}
+	if got := g.FrameTotal("exec"); got != 60 {
+		t.Errorf("exec total = %d, want 60", got)
+	}
+	if got := g.FrameTotal("lex"); got != 30 {
+		t.Errorf("lex total = %d, want 30", got)
+	}
+}
+
+func TestSelfWeights(t *testing.T) {
+	g := New("test", "cycles", sampleStacks())
+	sw := g.SelfWeights()
+	if len(sw) != 4 {
+		t.Fatalf("got %d self entries, want 4 (main has no self weight)", len(sw))
+	}
+	if sw[0].Name != "step" || sw[0].Weight != 50 {
+		t.Errorf("top self = %+v, want step/50", sw[0])
+	}
+	for _, fw := range sw {
+		if fw.Name == "main" {
+			t.Error("main has zero self weight and should be absent")
+		}
+	}
+}
+
+func TestFoldedFormat(t *testing.T) {
+	g := New("test", "cycles", sampleStacks())
+	folded := g.Folded()
+	want := []string{
+		"main;exec 10",
+		"main;exec;step 50",
+		"main;parse 10",
+		"main;parse;lex 30",
+	}
+	lines := strings.Split(folded, "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("folded has %d lines, want %d:\n%s", len(lines), len(want), folded)
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("folded[%d] = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	g := New("bench", "cycles", sampleStacks())
+	art := g.ASCII(80)
+	if !strings.Contains(art, "bench — cycles flame graph") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(art, "main") {
+		t.Error("root frame missing")
+	}
+	// exec (60%) should be wider than parse (40%): count dashes in the
+	// depth-1 row.
+	lines := strings.Split(art, "\n")
+	var depth1 string
+	for _, ln := range lines {
+		if strings.Contains(ln, "exec") && strings.Contains(ln, "parse") {
+			depth1 = ln
+		}
+	}
+	if depth1 == "" {
+		t.Fatalf("depth-1 row not found:\n%s", art)
+	}
+	ei := strings.Index(depth1, "exec")
+	pi := strings.Index(depth1, "parse")
+	if ei < 0 || pi < 0 || ei > pi {
+		t.Errorf("alphabetical ordering violated: %q", depth1)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	g := New("bench", "instructions", sampleStacks())
+	svg := g.SVG(800)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Error("SVG envelope broken")
+	}
+	if strings.Count(svg, "<rect") != 5 {
+		t.Errorf("expected 5 frames (main,parse,lex,exec,step), got %d",
+			strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "instructions") {
+		t.Error("metric label missing")
+	}
+}
+
+func TestXMLEscaping(t *testing.T) {
+	g := New("t<&>", "cycles", []Stack{{Frames: []string{"a<b>"}, Weight: 1}})
+	svg := g.SVG(200)
+	if strings.Contains(svg, "a<b>") {
+		t.Error("frame name not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&gt;") {
+		t.Error("escaped form missing")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New("empty", "cycles", nil)
+	if g.Total() != 0 {
+		t.Error("empty graph has weight")
+	}
+	if !strings.Contains(g.ASCII(40), "no samples") {
+		t.Error("empty ASCII rendering wrong")
+	}
+	if !strings.HasPrefix(g.SVG(200), "<svg") {
+		t.Error("empty SVG must still be well-formed")
+	}
+}
+
+func TestWeightConservationProperty(t *testing.T) {
+	// Property: total equals the sum of self weights.
+	if err := quick.Check(func(ws []uint16) bool {
+		var stacks []Stack
+		frames := []string{"a", "b", "c", "d"}
+		var sum uint64
+		for i, w := range ws {
+			if w == 0 {
+				continue
+			}
+			depth := i%len(frames) + 1
+			stacks = append(stacks, Stack{Frames: frames[:depth], Weight: uint64(w)})
+			sum += uint64(w)
+		}
+		g := New("p", "x", stacks)
+		var selfSum uint64
+		for _, fw := range g.SelfWeights() {
+			selfSum += fw.Weight
+		}
+		return g.Total() == sum && selfSum == sum
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecursionDoesNotDoubleCount(t *testing.T) {
+	g := New("rec", "cycles", []Stack{
+		{Frames: []string{"f", "f", "f"}, Weight: 10},
+	})
+	if got := g.FrameTotal("f"); got != 10 {
+		t.Errorf("recursive frame total = %d, want 10", got)
+	}
+}

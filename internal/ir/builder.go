@@ -1,0 +1,236 @@
+package ir
+
+import "fmt"
+
+// Builder provides a convenient construction API over a function,
+// mirroring LLVM's IRBuilder. All emit methods append to the current
+// insertion block and return the new instruction as a Value.
+type Builder struct {
+	fn  *Func
+	blk *Block
+}
+
+// NewBuilder creates a builder positioned at no block; call SetBlock
+// (or AtEntry) before emitting.
+func NewBuilder(f *Func) *Builder { return &Builder{fn: f} }
+
+// Func returns the function under construction.
+func (b *Builder) Func() *Func { return b.fn }
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.blk }
+
+// SetBlock moves the insertion point to the end of blk.
+func (b *Builder) SetBlock(blk *Block) { b.blk = blk }
+
+// NewBlock creates a block and moves the insertion point into it.
+func (b *Builder) NewBlock(name string) *Block {
+	blk := b.fn.NewBlock(name)
+	b.blk = blk
+	return blk
+}
+
+// insert appends the instruction to the current block and names it.
+func (b *Builder) insert(i *Instr) *Instr {
+	if b.blk == nil {
+		panic("ir: builder has no insertion block")
+	}
+	if i.Ty != Void && i.name == "" {
+		i.name = b.fn.uniqueValueName("t")
+	}
+	i.block = b.blk
+	b.blk.Instrs = append(b.blk.Instrs, i)
+	return i
+}
+
+// binary emits a two-operand arithmetic instruction.
+func (b *Builder) binary(op Op, x, y Value) *Instr {
+	if x.Type() != y.Type() {
+		panic(fmt.Sprintf("ir: %s operand types differ: %s vs %s", op, x.Type(), y.Type()))
+	}
+	return b.insert(&Instr{Op: op, Ty: x.Type(), Args: []Value{x, y}})
+}
+
+// Add emits integer (or pointer-offset) addition.
+func (b *Builder) Add(x, y Value) *Instr { return b.binary(OpAdd, x, y) }
+
+// Sub emits integer subtraction.
+func (b *Builder) Sub(x, y Value) *Instr { return b.binary(OpSub, x, y) }
+
+// Mul emits integer multiplication.
+func (b *Builder) Mul(x, y Value) *Instr { return b.binary(OpMul, x, y) }
+
+// SDiv emits signed integer division.
+func (b *Builder) SDiv(x, y Value) *Instr { return b.binary(OpSDiv, x, y) }
+
+// SRem emits signed remainder.
+func (b *Builder) SRem(x, y Value) *Instr { return b.binary(OpSRem, x, y) }
+
+// And emits bitwise and.
+func (b *Builder) And(x, y Value) *Instr { return b.binary(OpAnd, x, y) }
+
+// Or emits bitwise or.
+func (b *Builder) Or(x, y Value) *Instr { return b.binary(OpOr, x, y) }
+
+// Xor emits bitwise xor.
+func (b *Builder) Xor(x, y Value) *Instr { return b.binary(OpXor, x, y) }
+
+// Shl emits a left shift.
+func (b *Builder) Shl(x, y Value) *Instr { return b.binary(OpShl, x, y) }
+
+// LShr emits a logical right shift.
+func (b *Builder) LShr(x, y Value) *Instr { return b.binary(OpLShr, x, y) }
+
+// AShr emits an arithmetic right shift.
+func (b *Builder) AShr(x, y Value) *Instr { return b.binary(OpAShr, x, y) }
+
+// FAdd emits floating-point addition.
+func (b *Builder) FAdd(x, y Value) *Instr { return b.binary(OpFAdd, x, y) }
+
+// FSub emits floating-point subtraction.
+func (b *Builder) FSub(x, y Value) *Instr { return b.binary(OpFSub, x, y) }
+
+// FMul emits floating-point multiplication.
+func (b *Builder) FMul(x, y Value) *Instr { return b.binary(OpFMul, x, y) }
+
+// FDiv emits floating-point division.
+func (b *Builder) FDiv(x, y Value) *Instr { return b.binary(OpFDiv, x, y) }
+
+// FMA emits a fused multiply-add computing x*y + acc.
+func (b *Builder) FMA(x, y, acc Value) *Instr {
+	if x.Type() != y.Type() || x.Type() != acc.Type() {
+		panic("ir: fma operand types differ")
+	}
+	return b.insert(&Instr{Op: OpFMA, Ty: x.Type(), Args: []Value{x, y, acc}})
+}
+
+// ICmp emits an integer comparison producing i1.
+func (b *Builder) ICmp(p Pred, x, y Value) *Instr {
+	if x.Type() != y.Type() {
+		panic("ir: icmp operand types differ")
+	}
+	return b.insert(&Instr{Op: OpICmp, Pred: p, Ty: I1, Args: []Value{x, y}})
+}
+
+// FCmp emits a floating-point comparison producing i1.
+func (b *Builder) FCmp(p Pred, x, y Value) *Instr {
+	if x.Type() != y.Type() {
+		panic("ir: fcmp operand types differ")
+	}
+	return b.insert(&Instr{Op: OpFCmp, Pred: p, Ty: I1, Args: []Value{x, y}})
+}
+
+// Convert emits a conversion instruction to the target type.
+func (b *Builder) Convert(op Op, x Value, to Type) *Instr {
+	if !op.IsConversion() {
+		panic("ir: Convert with non-conversion opcode")
+	}
+	return b.insert(&Instr{Op: op, Ty: to, Args: []Value{x}})
+}
+
+// Splat emits a broadcast of a scalar into a vector with the given lanes.
+func (b *Builder) Splat(x Value, lanes int) *Instr {
+	return b.insert(&Instr{Op: OpSplat, Ty: VecOf(x.Type(), lanes), Args: []Value{x}})
+}
+
+// Extract emits extraction of one lane from a vector.
+func (b *Builder) Extract(v Value, lane int) *Instr {
+	if !v.Type().IsVector() {
+		panic("ir: extract from non-vector")
+	}
+	return b.insert(&Instr{Op: OpExtract, Ty: v.Type().Elem(), Args: []Value{v}, Lane: lane})
+}
+
+// Reduce emits a horizontal add of all lanes.
+func (b *Builder) Reduce(v Value) *Instr {
+	if !v.Type().IsVector() {
+		panic("ir: reduce of non-vector")
+	}
+	return b.insert(&Instr{Op: OpReduce, Ty: v.Type().Elem(), Args: []Value{v}})
+}
+
+// Alloca emits a stack allocation of count elements of elem type,
+// returning a pointer.
+func (b *Builder) Alloca(elem Type, count int64) *Instr {
+	return b.insert(&Instr{Op: OpAlloca, Ty: Ptr, Args: []Value{ConstInt(I64, count)}, Scale: int64(elem.Size())})
+}
+
+// Load emits a typed load through ptr.
+func (b *Builder) Load(ty Type, ptr Value) *Instr {
+	if !ptr.Type().IsPtr() {
+		panic("ir: load through non-pointer")
+	}
+	return b.insert(&Instr{Op: OpLoad, Ty: ty, Args: []Value{ptr}})
+}
+
+// Store emits a store of val through ptr.
+func (b *Builder) Store(val, ptr Value) *Instr {
+	if !ptr.Type().IsPtr() {
+		panic("ir: store through non-pointer")
+	}
+	return b.insert(&Instr{Op: OpStore, Ty: Void, Args: []Value{val, ptr}})
+}
+
+// GEP emits pointer arithmetic: base + index*scale bytes.
+func (b *Builder) GEP(base, index Value, scale int64) *Instr {
+	if !base.Type().IsPtr() {
+		panic("ir: gep on non-pointer")
+	}
+	return b.insert(&Instr{Op: OpGEP, Ty: Ptr, Args: []Value{base, index}, Scale: scale})
+}
+
+// Phi emits an empty phi of the given type; fill it with AddIncoming.
+func (b *Builder) Phi(ty Type) *Instr {
+	return b.insert(&Instr{Op: OpPhi, Ty: ty})
+}
+
+// AddIncoming appends an incoming (value, predecessor) pair to a phi.
+func AddIncoming(phi *Instr, v Value, from *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Args = append(phi.Args, v)
+	phi.Blocks = append(phi.Blocks, from)
+}
+
+// Select emits cond ? x : y.
+func (b *Builder) Select(cond, x, y Value) *Instr {
+	if x.Type() != y.Type() {
+		panic("ir: select arm types differ")
+	}
+	return b.insert(&Instr{Op: OpSelect, Ty: x.Type(), Args: []Value{cond, x, y}})
+}
+
+// Call emits a call to callee.
+func (b *Builder) Call(callee *Func, args ...Value) *Instr {
+	return b.insert(&Instr{Op: OpCall, Ty: callee.RetTy, Callee: callee, Args: args})
+}
+
+// Ret emits a value return.
+func (b *Builder) Ret(v Value) *Instr {
+	return b.insert(&Instr{Op: OpRet, Ty: Void, Args: []Value{v}})
+}
+
+// RetVoid emits a void return.
+func (b *Builder) RetVoid() *Instr {
+	return b.insert(&Instr{Op: OpRet, Ty: Void})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(dst *Block) *Instr {
+	return b.insert(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{dst}})
+}
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return b.insert(&Instr{Op: OpCondBr, Ty: Void, Args: []Value{cond}, Blocks: []*Block{then, els}})
+}
+
+// Switch emits a multi-way dispatch on an integer scrutinee.
+func (b *Builder) Switch(v Value, dflt *Block, cases []int64, dests []*Block) *Instr {
+	if len(cases) != len(dests) {
+		panic("ir: switch cases and destinations differ in length")
+	}
+	blocks := append([]*Block{dflt}, dests...)
+	return b.insert(&Instr{Op: OpSwitch, Ty: Void, Args: []Value{v}, Blocks: blocks, Cases: cases})
+}

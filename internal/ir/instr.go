@@ -1,0 +1,227 @@
+package ir
+
+import "fmt"
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	OpInvalid Op = iota
+
+	// Integer arithmetic (also used for pointers where noted).
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+
+	// Comparisons; the predicate lives in Instr.Pred.
+	OpICmp
+	OpFCmp
+
+	// Floating point.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFMA // fused multiply-add: a*b + c
+
+	// Conversions.
+	OpZExt
+	OpSExt
+	OpTrunc
+	OpSIToFP
+	OpFPToSI
+	OpFPExt
+	OpFPTrunc
+
+	// Vector construction/extraction.
+	OpSplat   // scalar → vector with all lanes equal
+	OpExtract // vector, lane constant → scalar
+	OpReduce  // horizontal add of a vector → scalar
+
+	// Memory.
+	OpAlloca // fixed-size stack allocation; Ty is elem type, Args[0] count (const)
+	OpLoad
+	OpStore
+	OpGEP // Args: base ptr, index; Scale holds the byte stride
+
+	// Control flow and misc.
+	OpPhi
+	OpSelect
+	OpCall
+	OpRet
+	OpBr
+	OpCondBr
+	OpSwitch // Args[0] value; Blocks[0] default, Blocks[1..] cases (Cases holds values)
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpICmp: "icmp", OpFCmp: "fcmp",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv", OpFMA: "fma",
+	OpZExt: "zext", OpSExt: "sext", OpTrunc: "trunc",
+	OpSIToFP: "sitofp", OpFPToSI: "fptosi", OpFPExt: "fpext", OpFPTrunc: "fptrunc",
+	OpSplat: "splat", OpExtract: "extract", OpReduce: "reduce",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "gep",
+	OpPhi: "phi", OpSelect: "select", OpCall: "call", OpRet: "ret",
+	OpBr: "br", OpCondBr: "condbr", OpSwitch: "switch",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// OpByName resolves a mnemonic to an opcode.
+func OpByName(s string) (Op, bool) {
+	for i, n := range opNames {
+		if n == s && Op(i) != OpInvalid {
+			return Op(i), true
+		}
+	}
+	return OpInvalid, false
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpRet, OpBr, OpCondBr, OpSwitch:
+		return true
+	}
+	return false
+}
+
+// IsBinary reports whether the opcode takes exactly two same-typed
+// value operands and produces that type.
+func (o Op) IsBinary() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor,
+		OpShl, OpLShr, OpAShr, OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return true
+	}
+	return false
+}
+
+// IsConversion reports whether the opcode converts between types.
+func (o Op) IsConversion() bool {
+	switch o {
+	case OpZExt, OpSExt, OpTrunc, OpSIToFP, OpFPToSI, OpFPExt, OpFPTrunc:
+		return true
+	}
+	return false
+}
+
+// Pred is a comparison predicate for icmp/fcmp.
+type Pred uint8
+
+// Comparison predicates (signed integer semantics for icmp; ordered
+// semantics for fcmp).
+const (
+	PredEQ Pred = iota
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+)
+
+var predNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the predicate mnemonic.
+func (p Pred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return fmt.Sprintf("Pred(%d)", uint8(p))
+}
+
+// PredByName resolves a predicate mnemonic.
+func PredByName(s string) (Pred, bool) {
+	for i, n := range predNames {
+		if n == s {
+			return Pred(i), true
+		}
+	}
+	return 0, false
+}
+
+// Instr is one SSA instruction. Instructions producing a value are
+// themselves that Value.
+type Instr struct {
+	Op   Op
+	Ty   Type // result type (Void for stores, branches, ...)
+	Pred Pred // for OpICmp/OpFCmp
+
+	// Args are the value operands. Conventions:
+	//   load:   [ptr]
+	//   store:  [value, ptr]
+	//   gep:    [base, index] with Scale = byte stride
+	//   fma:    [a, b, c] computing a*b+c
+	//   phi:    incoming values, parallel to Blocks
+	//   select: [cond, ifTrue, ifFalse]
+	//   call:   arguments (callee in Callee)
+	//   switch: [scrutinee]
+	//   extract:[vector] with Lane
+	Args []Value
+
+	// Blocks are the CFG operands: br [dst]; condbr [then, else];
+	// switch [default, case0, case1, ...]; phi incoming blocks.
+	Blocks []*Block
+
+	// Cases holds the switch case values, parallel to Blocks[1:].
+	Cases []int64
+
+	// Scale is the GEP byte stride; for loads and stores it holds the
+	// constant byte displacement added to the pointer operand
+	// (base+disp addressing, the form strength reduction coalesces
+	// neighbouring accesses into).
+	Scale int64
+
+	// Lane is the extract lane index.
+	Lane int
+
+	// Callee is the called function for OpCall.
+	Callee *Func
+
+	name  string
+	block *Block
+}
+
+// Type returns the instruction's result type.
+func (i *Instr) Type() Type { return i.Ty }
+
+// Name returns the SSA name (without the % sigil).
+func (i *Instr) Name() string { return i.name }
+
+// SetName overrides the SSA name; the printer ensures uniqueness.
+func (i *Instr) SetName(n string) { i.name = n }
+
+// Block returns the containing basic block.
+func (i *Instr) Block() *Block { return i.block }
+
+// SetInstrBlock reparents an instruction into block b. It is intended
+// for pass code that moves or fabricates instructions; the builder
+// maintains the link automatically.
+func SetInstrBlock(in *Instr, b *Block) { in.block = b }
+
+// ReparentBlock moves a block into function f (removing it from its
+// previous function's block list is the caller's responsibility).
+// Used by the region extractor when outlining blocks into a new
+// function.
+func ReparentBlock(b *Block, f *Func) { b.fn = f }
+
+// String renders a short reference like "%t3".
+func (i *Instr) String() string { return "%" + i.name }

@@ -1,0 +1,304 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is anything an instruction can use as an operand.
+type Value interface {
+	Type() Type
+	Name() string
+	String() string
+}
+
+// Const is a literal constant value. Integer kinds store their payload
+// in Int; float kinds in Float.
+type Const struct {
+	Ty    Type
+	Int   int64
+	Float float64
+}
+
+// ConstInt builds an integer constant of the given type.
+func ConstInt(ty Type, v int64) *Const { return &Const{Ty: ty, Int: v} }
+
+// ConstFloat builds a floating-point constant of the given type.
+func ConstFloat(ty Type, v float64) *Const { return &Const{Ty: ty, Float: v} }
+
+// Type returns the constant's type.
+func (c *Const) Type() Type { return c.Ty }
+
+// Name returns the literal spelling.
+func (c *Const) Name() string { return c.String() }
+
+// String renders the constant in IR syntax.
+func (c *Const) String() string {
+	if c.Ty.IsFloat() {
+		if c.Float == math.Trunc(c.Float) && math.Abs(c.Float) < 1e15 {
+			return fmt.Sprintf("%.1f", c.Float)
+		}
+		return fmt.Sprintf("%g", c.Float)
+	}
+	return fmt.Sprintf("%d", c.Int)
+}
+
+// Param is a function parameter.
+type Param struct {
+	Ty    Type
+	PName string
+	Index int
+	fn    *Func
+}
+
+// Type returns the parameter type.
+func (p *Param) Type() Type { return p.Ty }
+
+// Name returns the parameter name (without sigil).
+func (p *Param) Name() string { return p.PName }
+
+// String renders a reference like "%n".
+func (p *Param) String() string { return "%" + p.PName }
+
+// Global is a module-level array in the flat data space the
+// interpreter provides. Globals are zero-initialized.
+type Global struct {
+	GName string
+	Elem  Type
+	Count int
+}
+
+// Type of a global reference is always pointer.
+func (g *Global) Type() Type { return Ptr }
+
+// Name returns the global's name (without sigil).
+func (g *Global) Name() string { return g.GName }
+
+// String renders a reference like "@A".
+func (g *Global) String() string { return "@" + g.GName }
+
+// SizeBytes returns the global's total size.
+func (g *Global) SizeBytes() int { return g.Elem.Size() * g.Count }
+
+// Block is a basic block: a named list of instructions ending in a
+// terminator.
+type Block struct {
+	BName  string
+	Instrs []*Instr
+	fn     *Func
+}
+
+// Name returns the block label.
+func (b *Block) Name() string { return b.BName }
+
+// Func returns the containing function.
+func (b *Block) Func() *Func { return b.fn }
+
+// Term returns the block's terminator, or nil if the block is not yet
+// terminated (verification rejects unterminated blocks).
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the block's CFG successors.
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	return t.Blocks
+}
+
+// Phis returns the leading phi instructions.
+func (b *Block) Phis() []*Instr {
+	var out []*Instr
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// Func is an IR function.
+type Func struct {
+	FName  string
+	Params []*Param
+	RetTy  Type
+	Blocks []*Block
+	Mod    *Module
+
+	// SourceFile and SourceLine carry front-end debug info; the
+	// instrumentation pass embeds them in LoopInfo records exactly as
+	// the paper's listing shows.
+	SourceFile string
+	SourceLine int
+
+	// Hints carries front-end facts keyed by "<kind>.<block>": the
+	// analogue of pragmas/metadata. Used keys:
+	//   "trip_multiple.<header>" — the loop's trip count is a multiple
+	//   of the value (lets the vectorizer skip remainder loops).
+	Hints map[string]int64
+
+	nameSeq int
+}
+
+// Type of a function reference is pointer (usable as a callee only).
+func (f *Func) Type() Type { return Ptr }
+
+// Name returns the function name (without sigil).
+func (f *Func) Name() string { return f.FName }
+
+// String renders a reference like "@matmul".
+func (f *Func) String() string { return "@" + f.FName }
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock appends a new block with a unique label derived from name.
+func (f *Func) NewBlock(name string) *Block {
+	if name == "" {
+		name = "bb"
+	}
+	base := name
+	for f.BlockByName(name) != nil {
+		f.nameSeq++
+		name = fmt.Sprintf("%s.%d", base, f.nameSeq)
+	}
+	b := &Block{BName: name, fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// BlockByName finds a block by label.
+func (f *Func) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.BName == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// uniqueValueName allocates a fresh SSA name.
+func (f *Func) uniqueValueName(prefix string) string {
+	if prefix == "" {
+		prefix = "t"
+	}
+	f.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, f.nameSeq)
+}
+
+// UniqueValueName allocates a fresh SSA name with the given prefix,
+// for pass code that fabricates instructions outside the Builder.
+func (f *Func) UniqueValueName(prefix string) string { return f.uniqueValueName(prefix) }
+
+// SetHint records a front-end hint (see Hints).
+func (f *Func) SetHint(key string, v int64) {
+	if f.Hints == nil {
+		f.Hints = make(map[string]int64)
+	}
+	f.Hints[key] = v
+}
+
+// Hint reads a front-end hint.
+func (f *Func) Hint(key string) (int64, bool) {
+	v, ok := f.Hints[key]
+	return v, ok
+}
+
+// LoopMeta is the static loop descriptor the instrumentation pass
+// registers for each outlined region — the LoopInfo structure from the
+// paper's call-site listing.
+type LoopMeta struct {
+	ID       int64
+	File     string
+	Line     int
+	FuncName string
+	Header   string // header block label in the original function
+}
+
+// Module is a compilation unit.
+type Module struct {
+	MName   string
+	Funcs   []*Func
+	Globals []*Global
+
+	// Loops is the registry of instrumented regions, filled by the
+	// instrumentation pass and consumed by the runtime.
+	Loops []LoopMeta
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{MName: name}
+}
+
+// NewFunc declares a function with the given signature.
+func (m *Module) NewFunc(name string, ret Type, params ...*Param) *Func {
+	f := &Func{FName: name, RetTy: ret, Params: params, Mod: m}
+	for i, p := range params {
+		p.Index = i
+		p.fn = f
+	}
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// NewParam builds a parameter for NewFunc.
+func NewParam(name string, ty Type) *Param { return &Param{PName: name, Ty: ty} }
+
+// NewGlobal declares a zero-initialized global array.
+func (m *Module) NewGlobal(name string, elem Type, count int) *Global {
+	g := &Global{GName: name, Elem: elem, Count: count}
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// FuncByName finds a function by name.
+func (m *Module) FuncByName(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.FName == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalByName finds a global by name.
+func (m *Module) GlobalByName(name string) *Global {
+	for _, g := range m.Globals {
+		if g.GName == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// AddLoopMeta registers an instrumented loop and returns its ID.
+func (m *Module) AddLoopMeta(meta LoopMeta) int64 {
+	meta.ID = int64(len(m.Loops) + 1)
+	m.Loops = append(m.Loops, meta)
+	return meta.ID
+}
+
+// LoopMetaByID resolves a loop descriptor.
+func (m *Module) LoopMetaByID(id int64) (LoopMeta, bool) {
+	if id < 1 || int(id) > len(m.Loops) {
+		return LoopMeta{}, false
+	}
+	return m.Loops[id-1], true
+}

@@ -1,0 +1,280 @@
+// Package isa defines the architectural vocabulary shared by the
+// simulated hardware layers: RISC-V control and status register (CSR)
+// addresses, privilege modes, CPU identification registers, PMU event
+// encodings, and the architectural signals that core models emit and
+// PMU counters consume.
+//
+// The package is intentionally dependency-free; every other hardware
+// package (machine, pmu, sbi, kernel) builds on these definitions.
+package isa
+
+import "fmt"
+
+// PrivMode is a RISC-V privilege mode as encoded in mstatus.MPP.
+type PrivMode uint8
+
+// Privilege modes. The encodings follow the RISC-V privileged
+// specification (U=0, S=1, M=3; 2 is reserved).
+const (
+	PrivU PrivMode = 0
+	PrivS PrivMode = 1
+	PrivM PrivMode = 3
+)
+
+// String returns the conventional single-letter name of the mode.
+func (m PrivMode) String() string {
+	switch m {
+	case PrivU:
+		return "U"
+	case PrivS:
+		return "S"
+	case PrivM:
+		return "M"
+	}
+	return fmt.Sprintf("PrivMode(%d)", uint8(m))
+}
+
+// Valid reports whether m is a defined privilege mode.
+func (m PrivMode) Valid() bool {
+	return m == PrivU || m == PrivS || m == PrivM
+}
+
+// CSR is a 12-bit RISC-V CSR address.
+type CSR uint16
+
+// Machine-level counter CSRs from the privileged specification.
+const (
+	CSRMCycle        CSR = 0xB00 // machine cycle counter
+	CSRMInstret      CSR = 0xB02 // machine instructions-retired counter
+	CSRMHPMCounter3  CSR = 0xB03 // first generic hardware performance counter
+	CSRMHPMCounter31 CSR = 0xB1F // last generic hardware performance counter
+
+	CSRMCountInhibit CSR = 0x320 // per-counter inhibit bits
+	CSRMHPMEvent3    CSR = 0x323 // first event selector
+	CSRMHPMEvent31   CSR = 0x33F // last event selector
+
+	CSRMCounterEn CSR = 0x306 // machine counter-enable (delegation to S)
+	CSRSCounterEn CSR = 0x106 // supervisor counter-enable (delegation to U)
+
+	CSRCycle   CSR = 0xC00 // user-level read-only shadow of mcycle
+	CSRTime    CSR = 0xC01 // user-level timer shadow
+	CSRInstret CSR = 0xC02 // user-level shadow of minstret
+
+	CSRMVendorID CSR = 0xF11 // JEDEC vendor ID
+	CSRMArchID   CSR = 0xF12 // microarchitecture ID
+	CSRMImpID    CSR = 0xF13 // implementation ID
+	CSRMHartID   CSR = 0xF14 // hart ID
+)
+
+// MHPMCounterCSR returns the CSR address of mhpmcounter<n>.
+// n must be in [3, 31]; the function panics otherwise, since counter
+// indices are always program constants in this codebase.
+func MHPMCounterCSR(n int) CSR {
+	if n < 3 || n > 31 {
+		panic(fmt.Sprintf("isa: mhpmcounter index %d out of range [3,31]", n))
+	}
+	return CSRMHPMCounter3 + CSR(n-3)
+}
+
+// MHPMEventCSR returns the CSR address of mhpmevent<n>.
+// n must be in [3, 31]; the function panics otherwise.
+func MHPMEventCSR(n int) CSR {
+	if n < 3 || n > 31 {
+		panic(fmt.Sprintf("isa: mhpmevent index %d out of range [3,31]", n))
+	}
+	return CSRMHPMEvent3 + CSR(n-3)
+}
+
+// Signal is an architectural event signal emitted by a core model.
+// Signals are the "wires" between the pipeline and the PMU: the core
+// reports how many times each signal fired during an instruction's
+// execution, and PMU counters configured to observe a signal accumulate
+// those deltas.
+type Signal uint8
+
+// Architectural signals. The set covers everything the paper's
+// evaluation needs: base counters, the per-privilege-mode cycle
+// counters that power the SpacemiT X60 workaround, cache and branch
+// events for completeness, and instruction-class signals used by the
+// PMU-based (Advisor-style) roofline estimator.
+const (
+	SigCycle Signal = iota
+	SigInstret
+	SigUModeCycle // cycles spent in U-mode (X60 vendor counter)
+	SigSModeCycle // cycles spent in S-mode (X60 vendor counter)
+	SigMModeCycle // cycles spent in M-mode (X60 vendor counter)
+	SigL1DAccess
+	SigL1DMiss
+	SigL1IAccess
+	SigL1IMiss
+	SigL2Access
+	SigL2Miss
+	SigBranch
+	SigBranchMiss
+	SigLoad
+	SigStore
+	SigIntOp     // retired integer arithmetic operation
+	SigFPOp      // retired scalar floating-point operation
+	SigVecFPOp   // retired vector floating-point instruction
+	SigFPFlop    // FLOPs retired (FMA counts 2, vector counts lanes)
+	SigSpecFlop  // FLOPs issued including squashed speculative work
+	SigStall     // stall cycles
+	SigDRAMBytes // bytes transferred to/from DRAM
+
+	NumSignals // number of defined signals; keep last
+)
+
+var signalNames = [...]string{
+	SigCycle:      "cycles",
+	SigInstret:    "instructions",
+	SigUModeCycle: "u_mode_cycle",
+	SigSModeCycle: "s_mode_cycle",
+	SigMModeCycle: "m_mode_cycle",
+	SigL1DAccess:  "l1d_access",
+	SigL1DMiss:    "l1d_miss",
+	SigL1IAccess:  "l1i_access",
+	SigL1IMiss:    "l1i_miss",
+	SigL2Access:   "l2_access",
+	SigL2Miss:     "l2_miss",
+	SigBranch:     "branches",
+	SigBranchMiss: "branch_misses",
+	SigLoad:       "loads",
+	SigStore:      "stores",
+	SigIntOp:      "int_ops",
+	SigFPOp:       "fp_ops",
+	SigVecFPOp:    "vec_fp_ops",
+	SigFPFlop:     "fp_flops",
+	SigSpecFlop:   "spec_flops",
+	SigStall:      "stall_cycles",
+	SigDRAMBytes:  "dram_bytes",
+}
+
+// String returns the lowercase mnemonic for the signal.
+func (s Signal) String() string {
+	if int(s) < len(signalNames) {
+		return signalNames[s]
+	}
+	return fmt.Sprintf("Signal(%d)", uint8(s))
+}
+
+// SignalByName returns the signal with the given mnemonic.
+func SignalByName(name string) (Signal, bool) {
+	for i, n := range signalNames {
+		if n == name {
+			return Signal(i), true
+		}
+	}
+	return 0, false
+}
+
+// SignalSet is a bitmask over signals, used by core models to declare
+// which signals they can produce.
+type SignalSet uint32
+
+// Add returns the set with s included.
+func (ss SignalSet) Add(s Signal) SignalSet { return ss | 1<<s }
+
+// Has reports whether s is in the set.
+func (ss SignalSet) Has(s Signal) bool { return ss&(1<<s) != 0 }
+
+// EventCode identifies a hardware event in the platform-independent
+// space used by the perf_event layer. Codes below RawEventBase mirror
+// the Linux PERF_COUNT_HW_* generalized events; codes at or above
+// RawEventBase are raw, vendor-specific encodings (the low bits carry
+// the vendor event number).
+type EventCode uint64
+
+// Generalized hardware events (mirroring PERF_COUNT_HW_*).
+const (
+	EventCycles EventCode = iota
+	EventInstructions
+	EventCacheReferences
+	EventCacheMisses
+	EventBranchInstructions
+	EventBranchMisses
+	EventStalledCycles
+
+	numGenericEvents
+)
+
+// RawEventBase marks the start of the raw (vendor) event space.
+const RawEventBase EventCode = 1 << 32
+
+// RawEvent builds a raw event code from a vendor event number.
+func RawEvent(vendorCode uint32) EventCode {
+	return RawEventBase | EventCode(vendorCode)
+}
+
+// IsRaw reports whether the code denotes a vendor-specific raw event.
+func (e EventCode) IsRaw() bool { return e >= RawEventBase }
+
+// VendorCode extracts the vendor event number from a raw code.
+func (e EventCode) VendorCode() uint32 { return uint32(e & 0xFFFFFFFF) }
+
+// String renders generalized events by name and raw events in hex.
+func (e EventCode) String() string {
+	switch e {
+	case EventCycles:
+		return "cycles"
+	case EventInstructions:
+		return "instructions"
+	case EventCacheReferences:
+		return "cache-references"
+	case EventCacheMisses:
+		return "cache-misses"
+	case EventBranchInstructions:
+		return "branches"
+	case EventBranchMisses:
+		return "branch-misses"
+	case EventStalledCycles:
+		return "stalled-cycles"
+	}
+	if e.IsRaw() {
+		return fmt.Sprintf("raw:0x%x", e.VendorCode())
+	}
+	return fmt.Sprintf("event:%d", uint64(e))
+}
+
+// SpacemiT X60 vendor event numbers for the three non-standard
+// sampling-capable counters described in §3.3 of the paper. The values
+// follow the vendor kernel tree's event IDs.
+const (
+	X60EventUModeCycle uint32 = 0x1001
+	X60EventMModeCycle uint32 = 0x1002
+	X60EventSModeCycle uint32 = 0x1003
+)
+
+// x86 reference-platform vendor event numbers used by the PMU-based
+// (Advisor-style) roofline estimator. FPArith mirrors the
+// FP_ARITH_INST_RETIRED family, which overcounts on miss-replayed
+// code — the documented behaviour behind the Advisor-vs-IR FLOP gap in
+// Fig 4 of the paper.
+const (
+	X86EventFPArith uint32 = 0x2001 // FLOPs including replayed speculative work
+	X86EventLoads   uint32 = 0x2002 // retired load operations
+	X86EventStores  uint32 = 0x2003 // retired store operations
+)
+
+// CPUID aggregates the RISC-V identification CSRs that miniperf uses
+// for platform detection instead of perf's event discovery (§3.3).
+type CPUID struct {
+	MVendorID uint64 // JEDEC manufacturer ID
+	MArchID   uint64 // base microarchitecture ID
+	MImpID    uint64 // implementation/revision ID
+}
+
+// String formats the triple the way `miniperf platforms` prints it.
+func (id CPUID) String() string {
+	return fmt.Sprintf("mvendorid=0x%x marchid=0x%x mimpid=0x%x",
+		id.MVendorID, id.MArchID, id.MImpID)
+}
+
+// Known vendor IDs (JEDEC) for the platforms surveyed in Table 1 of the
+// paper, plus a synthetic value for the x86 reference machine, which has
+// no RISC-V vendor ID but is identified through the same interface.
+const (
+	VendorSiFive   uint64 = 0x489
+	VendorTHead    uint64 = 0x5B7
+	VendorSpacemiT uint64 = 0x710
+	VendorIntelRef uint64 = 0x8086 // synthetic: x86 reference platform
+)

@@ -1,0 +1,148 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrivModeString(t *testing.T) {
+	cases := []struct {
+		mode PrivMode
+		want string
+	}{
+		{PrivU, "U"},
+		{PrivS, "S"},
+		{PrivM, "M"},
+		{PrivMode(2), "PrivMode(2)"},
+	}
+	for _, c := range cases {
+		if got := c.mode.String(); got != c.want {
+			t.Errorf("PrivMode(%d).String() = %q, want %q", c.mode, got, c.want)
+		}
+	}
+}
+
+func TestPrivModeValid(t *testing.T) {
+	if !PrivU.Valid() || !PrivS.Valid() || !PrivM.Valid() {
+		t.Error("U/S/M must be valid privilege modes")
+	}
+	if PrivMode(2).Valid() {
+		t.Error("mode 2 is reserved and must not be valid")
+	}
+}
+
+func TestMHPMCounterCSR(t *testing.T) {
+	if got := MHPMCounterCSR(3); got != CSRMHPMCounter3 {
+		t.Errorf("MHPMCounterCSR(3) = %#x, want %#x", got, CSRMHPMCounter3)
+	}
+	if got := MHPMCounterCSR(31); got != CSRMHPMCounter31 {
+		t.Errorf("MHPMCounterCSR(31) = %#x, want %#x", got, CSRMHPMCounter31)
+	}
+	if got := MHPMCounterCSR(4); got != CSRMHPMCounter3+1 {
+		t.Errorf("MHPMCounterCSR(4) = %#x, want %#x", got, CSRMHPMCounter3+1)
+	}
+}
+
+func TestMHPMEventCSR(t *testing.T) {
+	if got := MHPMEventCSR(3); got != CSRMHPMEvent3 {
+		t.Errorf("MHPMEventCSR(3) = %#x, want %#x", got, CSRMHPMEvent3)
+	}
+	if got := MHPMEventCSR(31); got != CSRMHPMEvent31 {
+		t.Errorf("MHPMEventCSR(31) = %#x, want %#x", got, CSRMHPMEvent31)
+	}
+}
+
+func TestMHPMCounterCSRPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{2, 32, -1, 0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MHPMCounterCSR(%d) did not panic", n)
+				}
+			}()
+			MHPMCounterCSR(n)
+		}()
+	}
+}
+
+func TestSignalNamesAreUniqueAndComplete(t *testing.T) {
+	seen := make(map[string]Signal)
+	for s := Signal(0); s < NumSignals; s++ {
+		name := s.String()
+		if name == "" {
+			t.Errorf("signal %d has empty name", s)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("signals %d and %d share name %q", prev, s, name)
+		}
+		seen[name] = s
+	}
+}
+
+func TestSignalByNameRoundTrip(t *testing.T) {
+	for s := Signal(0); s < NumSignals; s++ {
+		got, ok := SignalByName(s.String())
+		if !ok {
+			t.Fatalf("SignalByName(%q) not found", s.String())
+		}
+		if got != s {
+			t.Errorf("SignalByName(%q) = %d, want %d", s.String(), got, s)
+		}
+	}
+	if _, ok := SignalByName("nonsense"); ok {
+		t.Error("SignalByName should reject unknown names")
+	}
+}
+
+func TestSignalSet(t *testing.T) {
+	var ss SignalSet
+	ss = ss.Add(SigCycle).Add(SigFPFlop)
+	if !ss.Has(SigCycle) || !ss.Has(SigFPFlop) {
+		t.Error("added signals missing from set")
+	}
+	if ss.Has(SigInstret) {
+		t.Error("set contains signal that was never added")
+	}
+}
+
+func TestRawEventRoundTrip(t *testing.T) {
+	if err := quick.Check(func(code uint32) bool {
+		e := RawEvent(code)
+		return e.IsRaw() && e.VendorCode() == code
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenericEventsAreNotRaw(t *testing.T) {
+	for e := EventCode(0); e < numGenericEvents; e++ {
+		if e.IsRaw() {
+			t.Errorf("generic event %v misclassified as raw", e)
+		}
+	}
+}
+
+func TestEventCodeString(t *testing.T) {
+	cases := []struct {
+		e    EventCode
+		want string
+	}{
+		{EventCycles, "cycles"},
+		{EventInstructions, "instructions"},
+		{EventCacheMisses, "cache-misses"},
+		{RawEvent(X60EventUModeCycle), "raw:0x1001"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("EventCode(%d).String() = %q, want %q", uint64(c.e), got, c.want)
+		}
+	}
+}
+
+func TestCPUIDString(t *testing.T) {
+	id := CPUID{MVendorID: VendorSpacemiT, MArchID: 0x8000000058000001, MImpID: 1}
+	want := "mvendorid=0x710 marchid=0x8000000058000001 mimpid=0x1"
+	if got := id.String(); got != want {
+		t.Errorf("CPUID.String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,90 @@
+// Package kernel models the Linux perf_event subsystem at the
+// granularity the paper's workaround depends on: perf_event_open with
+// event groups, sampling configuration (period or frequency), overflow
+// interrupt handling, ring buffers of sample records, and group reads.
+//
+// The behaviour the SpacemiT X60 workaround exploits is reproduced
+// faithfully: opening a sampling event whose underlying counter cannot
+// raise overflow interrupts fails with ErrNotSupported (EOPNOTSUPP),
+// while grouping non-sampling counters under a sampling-capable leader
+// causes all group members to be read and recorded on each leader
+// overflow (PERF_SAMPLE_READ + PERF_FORMAT_GROUP semantics).
+package kernel
+
+import "mperf/internal/isa"
+
+// SampleType is a bitmask selecting what each sample record carries,
+// mirroring PERF_SAMPLE_*.
+type SampleType uint64
+
+// Sample record content flags.
+const (
+	SampleIP        SampleType = 1 << 0
+	SampleTID       SampleType = 1 << 1
+	SampleTime      SampleType = 1 << 2
+	SampleCallchain SampleType = 1 << 3
+	SampleRead      SampleType = 1 << 4 // include counter values (group read)
+	SamplePeriod    SampleType = 1 << 5
+)
+
+// ReadFormat is a bitmask controlling counter read layout, mirroring
+// PERF_FORMAT_*.
+type ReadFormat uint64
+
+// Read format flags.
+const (
+	// FormatGroup reads all counters in the event group at once.
+	FormatGroup ReadFormat = 1 << 0
+)
+
+// EventAttr is the subset of perf_event_attr the toolchain uses.
+type EventAttr struct {
+	// Label is a human-readable name carried through to samples and
+	// reports ("cycles", "u_mode_cycle", ...).
+	Label string
+
+	// Config selects the hardware event.
+	Config isa.EventCode
+
+	// SamplePeriod requests a sample every N event counts. Mutually
+	// exclusive with SampleFreq.
+	SamplePeriod uint64
+
+	// SampleFreq requests an average sample rate in Hz; the kernel
+	// adapts the period to hold it (perf's freq mode).
+	SampleFreq uint64
+
+	// SampleType selects the record contents for sampling events.
+	SampleType SampleType
+
+	// ReadFormat controls ReadGroup layout and SampleRead contents.
+	ReadFormat ReadFormat
+
+	// Disabled opens the event stopped; it starts counting on Enable.
+	Disabled bool
+}
+
+// IsSampling reports whether the attr requests overflow sampling.
+func (a *EventAttr) IsSampling() bool {
+	return a.SamplePeriod > 0 || a.SampleFreq > 0
+}
+
+// CounterValue is one counter's contribution to a group read.
+type CounterValue struct {
+	FD    int
+	Label string
+	Event isa.EventCode
+	Value uint64
+}
+
+// SampleRecord is one overflow sample, the analogue of
+// PERF_RECORD_SAMPLE.
+type SampleRecord struct {
+	IP        uint64
+	PID, TID  uint32
+	TimeNS    uint64
+	Period    uint64
+	Priv      isa.PrivMode
+	Callchain []uint64       // leaf first
+	Group     []CounterValue // leader first, when SampleRead|FormatGroup
+}

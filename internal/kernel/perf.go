@@ -1,0 +1,404 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"mperf/internal/isa"
+	"mperf/internal/sbi"
+)
+
+// Errors returned by the perf layer, named after the errno the real
+// syscall would produce.
+var (
+	// ErrNotSupported (EOPNOTSUPP): the event cannot do what was asked —
+	// on the X60 this is what opening a sampling "cycles" event returns.
+	ErrNotSupported = errors.New("perf_event_open: EOPNOTSUPP: event cannot sample on this hardware")
+	// ErrNoCounter (EBUSY): no free hardware counter could be allocated.
+	ErrNoCounter = errors.New("perf_event_open: EBUSY: no free hardware counter")
+	// ErrUnknownEvent (ENOENT): the platform cannot count the event.
+	ErrUnknownEvent = errors.New("perf_event_open: ENOENT: event not supported by this PMU")
+	// ErrBadFD (EBADF): the file descriptor does not name an open event.
+	ErrBadFD = errors.New("perf: EBADF: no such event fd")
+	// ErrBadGroup (EINVAL): the group leader fd is invalid.
+	ErrBadGroup = errors.New("perf_event_open: EINVAL: bad group leader")
+)
+
+// CPU is the execution context the kernel samples: program counter,
+// call stack, privilege mode and time source. The interpreter (vm
+// package) implements it.
+type CPU interface {
+	// PC returns the current architectural program counter.
+	PC() uint64
+	// Callchain fills buf with return addresses, leaf first, and
+	// returns the number written.
+	Callchain(buf []uint64) int
+	// Priv returns the current privilege mode.
+	Priv() isa.PrivMode
+	// Cycles returns the current cycle count (time source).
+	Cycles() uint64
+	// FreqHz returns the core frequency for cycle→time conversion.
+	FreqHz() float64
+}
+
+// Event is one open perf event.
+type Event struct {
+	fd      int
+	attr    EventAttr
+	counter int // hardware counter index
+	leader  *Event
+	group   []*Event // populated on leaders: leader itself first
+	enabled bool
+	rb      *RingBuffer
+
+	// Adaptive-period state for freq mode.
+	period           uint64
+	lastSampleCycles uint64
+}
+
+// FD returns the event's descriptor.
+func (e *Event) FD() int { return e.fd }
+
+// Attr returns a copy of the event's attributes.
+func (e *Event) Attr() EventAttr { return e.attr }
+
+// IsLeader reports whether the event leads its group.
+func (e *Event) IsLeader() bool { return e.leader == e }
+
+// RingBufferSize is the default per-event sample buffer capacity.
+const RingBufferSize = 1 << 16
+
+// maxCallchainDepth bounds recorded stacks like
+// /proc/sys/kernel/perf_event_max_stack.
+const maxCallchainDepth = 64
+
+// Subsystem is the per-CPU perf_event state: the analogue of the
+// kernel's perf core plus the RISC-V PMU driver from Figure 1.
+type Subsystem struct {
+	fw  *sbi.Firmware
+	cpu CPU
+
+	events    map[int]*Event
+	byCounter map[int]*Event
+	nextFD    int
+}
+
+// New builds the subsystem over firmware and an execution context and
+// claims the firmware's supervisor overflow IRQ.
+func New(fw *sbi.Firmware, cpu CPU) *Subsystem {
+	k := &Subsystem{
+		fw:        fw,
+		cpu:       cpu,
+		events:    make(map[int]*Event),
+		byCounter: make(map[int]*Event),
+		nextFD:    3, // 0..2 are stdio, as a nod to realism
+	}
+	fw.SetSupervisorIRQHandler(k.handleOverflow)
+	return k
+}
+
+// PerfEventOpen opens an event; groupFD is the leader's descriptor or
+// -1 to start a new group. This mirrors the perf_event_open syscall's
+// validation order: sampling capability is checked before any counter
+// is allocated, so the X60's defect surfaces as EOPNOTSUPP here.
+func (k *Subsystem) PerfEventOpen(attr EventAttr, groupFD int) (int, error) {
+	if attr.SamplePeriod > 0 && attr.SampleFreq > 0 {
+		return -1, fmt.Errorf("perf_event_open: EINVAL: both sample period and frequency set")
+	}
+	if attr.IsSampling() && !k.fw.CanSample(attr.Config) {
+		return -1, ErrNotSupported
+	}
+
+	var leader *Event
+	if groupFD != -1 {
+		var ok bool
+		leader, ok = k.events[groupFD]
+		if !ok || !leader.IsLeader() {
+			return -1, ErrBadGroup
+		}
+	}
+
+	idx, errno := k.fw.CounterConfigMatching(^uint64(0), attr.Config, sbi.CfgClearValue)
+	switch errno {
+	case sbi.OK:
+	case sbi.ErrNotSupported:
+		return -1, ErrUnknownEvent
+	case sbi.ErrNoCounterFree:
+		return -1, ErrNoCounter
+	default:
+		return -1, fmt.Errorf("perf_event_open: SBI failure: %v", errno)
+	}
+
+	ev := &Event{
+		fd:      k.nextFD,
+		attr:    attr,
+		counter: idx,
+		enabled: false,
+	}
+	k.nextFD++
+	if leader == nil {
+		ev.leader = ev
+		ev.group = []*Event{ev}
+	} else {
+		ev.leader = leader
+		leader.group = append(leader.group, ev)
+	}
+	if attr.IsSampling() {
+		ev.rb = NewRingBuffer(RingBufferSize)
+		ev.period = k.initialPeriod(&attr)
+	}
+	k.events[ev.fd] = ev
+	k.byCounter[idx] = ev
+	return ev.fd, nil
+}
+
+// initialPeriod seeds the sampling period. For freq mode the first
+// guess assumes the event ticks at core frequency (true for the
+// cycle-family events every sampling session here uses); the adaptive
+// loop corrects other rates within a few samples.
+func (k *Subsystem) initialPeriod(attr *EventAttr) uint64 {
+	if attr.SamplePeriod > 0 {
+		return attr.SamplePeriod
+	}
+	p := uint64(k.cpu.FreqHz() / float64(attr.SampleFreq))
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// lookup resolves a descriptor.
+func (k *Subsystem) lookup(fd int) (*Event, error) {
+	ev, ok := k.events[fd]
+	if !ok {
+		return nil, ErrBadFD
+	}
+	return ev, nil
+}
+
+// Enable starts one event (PERF_EVENT_IOC_ENABLE).
+func (k *Subsystem) Enable(fd int) error {
+	ev, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	return k.enable(ev)
+}
+
+// EnableGroup starts the whole group led by fd.
+func (k *Subsystem) EnableGroup(fd int) error {
+	ev, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	if !ev.IsLeader() {
+		return ErrBadGroup
+	}
+	for _, m := range ev.group {
+		if err := k.enable(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (k *Subsystem) enable(ev *Event) error {
+	if ev.enabled {
+		return nil
+	}
+	if errno := k.fw.CounterStart(ev.counter, 0, false); errno != sbi.OK {
+		return fmt.Errorf("perf: counter start failed: %v", errno)
+	}
+	if ev.attr.IsSampling() {
+		if errno := k.fw.CounterArm(ev.counter, ev.period); errno != sbi.OK {
+			k.fw.CounterStop(ev.counter)
+			return ErrNotSupported
+		}
+		ev.lastSampleCycles = k.cpu.Cycles()
+	}
+	ev.enabled = true
+	return nil
+}
+
+// Disable stops one event (PERF_EVENT_IOC_DISABLE).
+func (k *Subsystem) Disable(fd int) error {
+	ev, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	return k.disable(ev)
+}
+
+// DisableGroup stops the whole group led by fd.
+func (k *Subsystem) DisableGroup(fd int) error {
+	ev, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	if !ev.IsLeader() {
+		return ErrBadGroup
+	}
+	for _, m := range ev.group {
+		if err := k.disable(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (k *Subsystem) disable(ev *Event) error {
+	if !ev.enabled {
+		return nil
+	}
+	if ev.attr.IsSampling() {
+		k.fw.CounterDisarm(ev.counter)
+	}
+	k.fw.CounterStop(ev.counter)
+	ev.enabled = false
+	return nil
+}
+
+// ReadCount reads one event's counter value.
+func (k *Subsystem) ReadCount(fd int) (uint64, error) {
+	ev, err := k.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	v, errno := k.fw.CounterRead(ev.counter)
+	if errno != sbi.OK {
+		return 0, fmt.Errorf("perf: counter read failed: %v", errno)
+	}
+	return v, nil
+}
+
+// ReadGroup reads all counters in the group led by fd, leader first
+// (read(2) with PERF_FORMAT_GROUP).
+func (k *Subsystem) ReadGroup(fd int) ([]CounterValue, error) {
+	ev, err := k.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	leader := ev.leader
+	out := make([]CounterValue, 0, len(leader.group))
+	for _, m := range leader.group {
+		v, errno := k.fw.CounterRead(m.counter)
+		if errno != sbi.OK {
+			return nil, fmt.Errorf("perf: counter read failed: %v", errno)
+		}
+		out = append(out, CounterValue{FD: m.fd, Label: m.attr.Label, Event: m.attr.Config, Value: v})
+	}
+	return out, nil
+}
+
+// ResetCount zeroes an event's counter (PERF_EVENT_IOC_RESET).
+func (k *Subsystem) ResetCount(fd int) error {
+	ev, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	wasEnabled := ev.enabled
+	k.fw.CounterStop(ev.counter)
+	if errno := k.fw.CounterStart(ev.counter, 0, true); errno != sbi.OK {
+		return fmt.Errorf("perf: counter reset failed: %v", errno)
+	}
+	if !wasEnabled {
+		k.fw.CounterStop(ev.counter)
+	}
+	return nil
+}
+
+// Ring returns the event's sample buffer (nil for counting events) —
+// the analogue of mmap'ing the event fd.
+func (k *Subsystem) Ring(fd int) (*RingBuffer, error) {
+	ev, err := k.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	return ev.rb, nil
+}
+
+// Close releases the event and its hardware counter.
+func (k *Subsystem) Close(fd int) error {
+	ev, err := k.lookup(fd)
+	if err != nil {
+		return err
+	}
+	k.disable(ev)
+	k.fw.CounterRelease(ev.counter)
+	delete(k.byCounter, ev.counter)
+	delete(k.events, fd)
+	if !ev.IsLeader() {
+		l := ev.leader
+		for i, m := range l.group {
+			if m == ev {
+				l.group = append(l.group[:i], l.group[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// handleOverflow is the supervisor-mode PMU interrupt handler: it
+// builds a sample record for the overflowing event and, for freq-mode
+// events, adapts the period toward the requested rate.
+func (k *Subsystem) handleOverflow(counterIdx int) {
+	ev, ok := k.byCounter[counterIdx]
+	if !ok || !ev.enabled || ev.rb == nil {
+		return
+	}
+	attr := &ev.attr
+	rec := SampleRecord{Period: ev.period}
+	if attr.SampleType&SampleIP != 0 {
+		rec.IP = k.cpu.PC()
+	}
+	if attr.SampleType&SampleTID != 0 {
+		rec.PID, rec.TID = 1, 1
+	}
+	if attr.SampleType&SampleTime != 0 {
+		rec.TimeNS = uint64(float64(k.cpu.Cycles()) / k.cpu.FreqHz() * 1e9)
+	}
+	rec.Priv = k.cpu.Priv()
+	if attr.SampleType&SampleCallchain != 0 {
+		buf := make([]uint64, maxCallchainDepth)
+		n := k.cpu.Callchain(buf)
+		rec.Callchain = buf[:n]
+	}
+	if attr.SampleType&SampleRead != 0 && attr.ReadFormat&FormatGroup != 0 {
+		group, err := k.ReadGroup(ev.fd)
+		if err == nil {
+			rec.Group = group
+		}
+	}
+	ev.rb.Push(rec)
+
+	if attr.SampleFreq > 0 {
+		k.adaptPeriod(ev)
+	}
+}
+
+// adaptPeriod retunes a freq-mode event's period from the observed
+// inter-sample spacing, clamped to avoid interrupt storms.
+func (k *Subsystem) adaptPeriod(ev *Event) {
+	now := k.cpu.Cycles()
+	elapsed := now - ev.lastSampleCycles
+	ev.lastSampleCycles = now
+	if elapsed == 0 {
+		return
+	}
+	desired := uint64(k.cpu.FreqHz() / float64(ev.attr.SampleFreq))
+	if desired == 0 {
+		desired = 1
+	}
+	// period_new = period * desired/elapsed, smoothed 50%.
+	newPeriod := (ev.period + ev.period*desired/elapsed) / 2
+	const minPeriod = 1000
+	if newPeriod < minPeriod {
+		newPeriod = minPeriod
+	}
+	if newPeriod != ev.period {
+		ev.period = newPeriod
+		k.fw.CounterDisarm(ev.counter)
+		k.fw.CounterArm(ev.counter, ev.period)
+	}
+}

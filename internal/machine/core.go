@@ -1,0 +1,433 @@
+package machine
+
+import (
+	"mperf/internal/isa"
+	"mperf/internal/mem"
+)
+
+// DeltaBatch carries the architectural signal increments produced by
+// one micro-op. It is reused across calls to avoid allocation on the
+// hot path; sinks must not retain it.
+type DeltaBatch struct {
+	N   int
+	Sig [16]isa.Signal
+	Val [16]uint64
+}
+
+// Add appends one signal increment (no-op for zero deltas).
+func (b *DeltaBatch) Add(s isa.Signal, v uint64) {
+	if v == 0 || b.N >= len(b.Sig) {
+		return
+	}
+	b.Sig[b.N] = s
+	b.Val[b.N] = v
+	b.N++
+}
+
+// EventSink receives the architectural signal stream from a core.
+// The PMU model implements this; a nil sink disables event delivery.
+type EventSink interface {
+	Apply(b *DeltaBatch)
+}
+
+const scoreboardSize = 1024 // power of two; slots are hashed with a mask
+
+// Stats aggregates a core's architectural and microarchitectural
+// activity since the last Reset.
+type Stats struct {
+	Cycles      uint64
+	Instret     uint64
+	Uops        uint64
+	StallCycles uint64
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	Mispredicts uint64
+	Flops       uint64
+	SpecFlops   uint64 // FLOPs issued including miss-replayed work
+	IntOps      uint64
+	L1DMisses   uint64
+	L2Misses    uint64
+	DRAMBytes   uint64
+	TimerTicks  uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instret) / float64(s.Cycles)
+}
+
+// Core is one simulated hardware thread. It is not safe for concurrent
+// use: the interpreter drives it single-threaded, like a hart.
+type Core struct {
+	cfg  Config
+	sink EventSink
+	memh *mem.Hierarchy
+	bp   *branchPredictor
+
+	cycles    uint64
+	issued    int    // uops issued in the current cycle
+	instretFx uint64 // retired instructions ×256 (fixed point)
+
+	ready [scoreboardSize]uint64 // scoreboard: cycle when a slot's value is ready
+
+	storeBuf  []uint64 // completion cycles of in-flight stores (ring)
+	storeHead int
+
+	// fracCycle accumulates issue-bandwidth cycles ×256 for the
+	// out-of-order model.
+	fracCycle uint64
+
+	// replayFP counts how many upcoming FP uops re-issue due to a
+	// recent cache miss (models the documented overcount of FP
+	// operation counters on miss-replayed code, which is the mechanism
+	// behind the Advisor-vs-IR FLOP gap in Fig 4).
+	replayFP int
+
+	priv      isa.PrivMode
+	pc        uint64
+	nextTimer uint64
+
+	batch DeltaBatch
+	stats Stats
+}
+
+// NewCore builds a core from the configuration; it panics on an
+// invalid configuration (configurations are compiled-in constants).
+func NewCore(cfg Config, sink EventSink) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Core{
+		cfg:      cfg,
+		sink:     sink,
+		memh:     mem.NewHierarchy(cfg.Mem),
+		bp:       newBranchPredictor(cfg.PredictorBits, cfg.BTBBits, indirectHistory(cfg)),
+		storeBuf: make([]uint64, cfg.StoreBufferEntries),
+		priv:     isa.PrivU,
+	}
+	if cfg.TimerIntervalCycles > 0 {
+		c.nextTimer = cfg.TimerIntervalCycles
+	}
+	return c
+}
+
+func indirectHistory(cfg Config) uint {
+	// Out-of-order front-ends get history-indexed indirect prediction;
+	// the in-order parts use plain last-target BTBs.
+	if cfg.Kind == OutOfOrder {
+		return 12
+	}
+	return 0
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Mem exposes the core's memory hierarchy.
+func (c *Core) Mem() *mem.Hierarchy { return c.memh }
+
+// Cycles returns the current cycle count.
+func (c *Core) Cycles() uint64 { return c.cycles }
+
+// Instret returns the retired instruction count.
+func (c *Core) Instret() uint64 { return c.instretFx >> 8 }
+
+// Seconds converts the elapsed cycles to wall-clock seconds at the
+// core's nominal frequency.
+func (c *Core) Seconds() float64 { return float64(c.cycles) / c.cfg.FreqHz }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.cycles
+	s.Instret = c.instretFx >> 8
+	s.Branches = c.bp.Branches
+	s.Mispredicts = c.bp.Mispredicts
+	return s
+}
+
+// PC returns the architectural program counter (set by the interpreter
+// before each uop so that PMU samples attribute to the right symbol).
+func (c *Core) PC() uint64 { return c.pc }
+
+// SetPC records the architectural program counter.
+func (c *Core) SetPC(pc uint64) { c.pc = pc }
+
+// Priv returns the current privilege mode.
+func (c *Core) Priv() isa.PrivMode { return c.priv }
+
+// SetPriv switches the privilege mode (used by the kernel model for
+// syscall/trap entry and exit).
+func (c *Core) SetPriv(m isa.PrivMode) { c.priv = m }
+
+// SetSink installs the architectural event sink.
+func (c *Core) SetSink(s EventSink) { c.sink = s }
+
+// Reset returns the core to its post-construction state.
+func (c *Core) Reset() {
+	c.cycles = 0
+	c.issued = 0
+	c.instretFx = 0
+	c.fracCycle = 0
+	c.replayFP = 0
+	c.priv = isa.PrivU
+	c.pc = 0
+	for i := range c.ready {
+		c.ready[i] = 0
+	}
+	for i := range c.storeBuf {
+		c.storeBuf[i] = 0
+	}
+	c.storeHead = 0
+	c.bp.reset()
+	c.memh.Reset()
+	c.stats = Stats{}
+	c.nextTimer = 0
+	if c.cfg.TimerIntervalCycles > 0 {
+		c.nextTimer = c.cfg.TimerIntervalCycles
+	}
+}
+
+// Exec executes one micro-op, advancing time and emitting signals.
+func (c *Core) Exec(u *Uop) {
+	startCycles := c.cycles
+	startInstret := c.instretFx >> 8
+	startStalls := c.stats.StallCycles
+
+	var access mem.AccessResult
+	var mispredict bool
+
+	if c.cfg.Kind == InOrder {
+		access, mispredict = c.execInOrder(u)
+	} else {
+		access, mispredict = c.execOutOfOrder(u)
+	}
+
+	// Retired-instruction accounting via per-class expansion.
+	c.instretFx += uint64(c.cfg.expansion(u.Class))
+	c.stats.Uops++
+
+	// OS timer tick: periodically spend handler time in S-mode.
+	var timerCycles uint64
+	if c.nextTimer != 0 && c.cycles >= c.nextTimer {
+		timerCycles = c.cfg.TimerHandlerCycles
+		c.cycles += timerCycles
+		// The handler retires roughly one instruction per cycle.
+		c.instretFx += timerCycles << 8
+		c.nextTimer += c.cfg.TimerIntervalCycles
+		c.stats.TimerTicks++
+	}
+
+	c.emit(u, startCycles, startInstret, startStalls, access, mispredict, timerCycles)
+}
+
+// execInOrder charges time through the register scoreboard.
+func (c *Core) execInOrder(u *Uop) (access mem.AccessResult, mispredict bool) {
+	// Stall until all sources are ready.
+	earliest := c.cycles
+	if u.Src1 >= 0 {
+		if r := c.ready[uint32(u.Src1)&(scoreboardSize-1)]; r > earliest {
+			earliest = r
+		}
+	}
+	if u.Src2 >= 0 {
+		if r := c.ready[uint32(u.Src2)&(scoreboardSize-1)]; r > earliest {
+			earliest = r
+		}
+	}
+	if u.Src3 >= 0 {
+		if r := c.ready[uint32(u.Src3)&(scoreboardSize-1)]; r > earliest {
+			earliest = r
+		}
+	}
+	if earliest > c.cycles {
+		c.stats.StallCycles += earliest - c.cycles
+		c.cycles = earliest
+		c.issued = 0
+	}
+	if c.issued >= c.cfg.IssueWidth {
+		c.cycles++
+		c.issued = 0
+	}
+
+	lat := c.cfg.Latency[u.Class]
+	switch u.Class {
+	case OpLoad, OpVecLoad:
+		access = c.memh.Access(c.cycles, u.Addr, int(u.Size), false)
+		lat += access.Latency
+	case OpStore, OpVecStore:
+		access = c.memh.Access(c.cycles, u.Addr, int(u.Size), true)
+		// Stores retire through the store buffer at posted-write cost
+		// (bandwidth, not round-trip latency); the pipeline stalls only
+		// when the buffer is full and the oldest entry has not drained.
+		complete := c.cycles + access.PostedLatency
+		oldest := c.storeBuf[c.storeHead]
+		if oldest > c.cycles {
+			c.stats.StallCycles += oldest - c.cycles
+			c.cycles = oldest
+			c.issued = 0
+			if complete < c.cycles {
+				complete = c.cycles
+			}
+		}
+		c.storeBuf[c.storeHead] = complete
+		c.storeHead = (c.storeHead + 1) % len(c.storeBuf)
+	case OpBranch:
+		mispredict = c.bp.conditional(u.BrID, u.Taken)
+	case OpIndirect:
+		mispredict = c.bp.indirect(u.BrID, u.Target)
+	}
+	if mispredict {
+		c.cycles += c.cfg.MispredictPenalty
+		c.issued = 0
+	}
+
+	c.issued++
+	if u.Dst >= 0 {
+		c.ready[uint32(u.Dst)&(scoreboardSize-1)] = c.cycles + lat
+	}
+	return access, mispredict
+}
+
+// execOutOfOrder charges time through the analytic model: issue
+// bandwidth plus un-hidable penalties.
+func (c *Core) execOutOfOrder(u *Uop) (access mem.AccessResult, mispredict bool) {
+	// Issue bandwidth: 1/width cycles per uop, in ×256 fixed point.
+	c.fracCycle += 256 / uint64(c.cfg.IssueWidth)
+	if c.fracCycle >= 256 {
+		c.cycles += c.fracCycle >> 8
+		c.fracCycle &= 255
+	}
+
+	switch u.Class {
+	case OpLoad, OpVecLoad:
+		access = c.memh.Access(c.cycles, u.Addr, int(u.Size), false)
+		if access.L1Miss {
+			// The window overlaps misses; expose latency/MLP.
+			pen := access.Latency / uint64(c.cfg.MLP)
+			c.cycles += pen
+			c.stats.StallCycles += pen
+			c.replayFP = 8 // downstream FP uops re-issue (counter overcount)
+		}
+	case OpStore, OpVecStore:
+		access = c.memh.Access(c.cycles, u.Addr, int(u.Size), true)
+		complete := c.cycles + access.PostedLatency
+		oldest := c.storeBuf[c.storeHead]
+		if oldest > c.cycles {
+			// Store buffer full behind a saturated channel.
+			c.stats.StallCycles += oldest - c.cycles
+			c.cycles = oldest
+			if complete < c.cycles {
+				complete = c.cycles
+			}
+		}
+		c.storeBuf[c.storeHead] = complete
+		c.storeHead = (c.storeHead + 1) % len(c.storeBuf)
+	case OpIntDiv, OpFPDiv:
+		// Partially pipelined long-latency units.
+		pen := c.cfg.Latency[u.Class] / 2
+		c.cycles += pen
+		c.stats.StallCycles += pen
+	case OpBranch:
+		mispredict = c.bp.conditional(u.BrID, u.Taken)
+	case OpIndirect:
+		mispredict = c.bp.indirect(u.BrID, u.Target)
+	}
+	if mispredict {
+		c.cycles += c.cfg.MispredictPenalty
+		c.stats.StallCycles += c.cfg.MispredictPenalty
+	}
+	return access, mispredict
+}
+
+// emit folds the uop's effects into statistics and the event sink.
+func (c *Core) emit(u *Uop, startCycles, startInstret, startStalls uint64,
+	access mem.AccessResult, mispredict bool, timerCycles uint64) {
+
+	cycleDelta := c.cycles - startCycles
+	instretDelta := (c.instretFx >> 8) - startInstret
+	stallDelta := c.stats.StallCycles - startStalls
+
+	flops := uint64(u.Flops)
+	specFlops := flops
+	if flops > 0 && c.replayFP > 0 {
+		specFlops += flops
+		c.replayFP--
+	}
+
+	c.stats.Flops += flops
+	c.stats.SpecFlops += specFlops
+	c.stats.IntOps += uint64(u.IntOps)
+	if access.L1Miss {
+		c.stats.L1DMisses++
+	}
+	if access.L2Miss {
+		c.stats.L2Misses++
+	}
+	c.stats.DRAMBytes += access.DRAMBytes
+
+	switch u.Class {
+	case OpLoad, OpVecLoad:
+		c.stats.Loads++
+	case OpStore, OpVecStore:
+		c.stats.Stores++
+	}
+
+	if c.sink == nil {
+		return
+	}
+	b := &c.batch
+	b.N = 0
+	b.Add(isa.SigCycle, cycleDelta)
+	b.Add(isa.SigInstret, instretDelta)
+	// Mode-cycle signals come after the base counters so that a
+	// sampling leader bound to one of them observes fully-updated
+	// cycles/instret values in its group snapshot.
+	userCycles := cycleDelta - timerCycles
+	switch c.priv {
+	case isa.PrivU:
+		b.Add(isa.SigUModeCycle, userCycles)
+	case isa.PrivS:
+		b.Add(isa.SigSModeCycle, userCycles)
+	case isa.PrivM:
+		b.Add(isa.SigMModeCycle, userCycles)
+	}
+	b.Add(isa.SigSModeCycle, timerCycles)
+	switch u.Class {
+	case OpLoad, OpVecLoad:
+		b.Add(isa.SigLoad, 1)
+		b.Add(isa.SigL1DAccess, 1)
+	case OpStore, OpVecStore:
+		b.Add(isa.SigStore, 1)
+		b.Add(isa.SigL1DAccess, 1)
+	case OpBranch, OpIndirect:
+		b.Add(isa.SigBranch, 1)
+		if mispredict {
+			b.Add(isa.SigBranchMiss, 1)
+		}
+	}
+	if access.L1Miss {
+		b.Add(isa.SigL1DMiss, 1)
+		b.Add(isa.SigL2Access, 1)
+	}
+	if access.L2Miss {
+		b.Add(isa.SigL2Miss, 1)
+	}
+	b.Add(isa.SigStall, stallDelta)
+	b.Add(isa.SigDRAMBytes, access.DRAMBytes)
+	if u.Class.IsFP() {
+		if u.Class.IsVector() {
+			b.Add(isa.SigVecFPOp, 1)
+		} else {
+			b.Add(isa.SigFPOp, 1)
+		}
+	}
+	b.Add(isa.SigFPFlop, flops)
+	b.Add(isa.SigSpecFlop, specFlops)
+	b.Add(isa.SigIntOp, uint64(u.IntOps))
+	c.sink.Apply(b)
+}

@@ -1,0 +1,223 @@
+package miniperf
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mperf/internal/ir"
+	"mperf/internal/isa"
+	"mperf/internal/platform"
+	"mperf/internal/vm"
+)
+
+// buildWorkload creates a module with two functions of very different
+// weight: hot (a long FP loop) and cold (a short one), both called
+// from main, so hotspot attribution has something to distinguish.
+func buildWorkload() *ir.Module {
+	m := ir.NewModule("w")
+	m.NewGlobal("data", ir.F32, 8192)
+
+	mkLoop := func(name string, iters int64) *ir.Func {
+		f := m.NewFunc(name, ir.F32, ir.NewParam("a", ir.Ptr))
+		b := ir.NewBuilder(f)
+		entry := b.NewBlock("entry")
+		loop := f.NewBlock("loop")
+		exit := f.NewBlock("exit")
+		b.SetBlock(entry)
+		b.Br(loop)
+		b.SetBlock(loop)
+		i := b.Phi(ir.I64)
+		acc := b.Phi(ir.F32)
+		masked := b.And(i, ir.ConstInt(ir.I64, 8191))
+		p := b.GEP(f.Params[0], masked, 4)
+		v := b.Load(ir.F32, p)
+		s := b.FMA(v, v, acc)
+		inext := b.Add(i, ir.ConstInt(ir.I64, 1))
+		c := b.ICmp(ir.PredLT, inext, ir.ConstInt(ir.I64, iters))
+		b.CondBr(c, loop, exit)
+		ir.AddIncoming(i, ir.ConstInt(ir.I64, 0), entry)
+		ir.AddIncoming(i, inext, loop)
+		ir.AddIncoming(acc, ir.ConstFloat(ir.F32, 0), entry)
+		ir.AddIncoming(acc, s, loop)
+		b.SetBlock(exit)
+		b.Ret(s)
+		return f
+	}
+	hot := mkLoop("hot", 200_000)
+	cold := mkLoop("cold", 10_000)
+
+	main := m.NewFunc("main", ir.F32, ir.NewParam("a", ir.Ptr))
+	b := ir.NewBuilder(main)
+	b.NewBlock("entry")
+	h := b.Call(hot, main.Params[0])
+	c := b.Call(cold, main.Params[0])
+	sum := b.FAdd(h, c)
+	b.Ret(sum)
+	return m
+}
+
+func newMachine(t *testing.T, p *platform.Platform) *vm.Machine {
+	t.Helper()
+	m, err := vm.New(p, buildWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := m.GlobalAddr("data")
+	for i := 0; i < 8192; i++ {
+		m.WriteF32(addr+uint64(i*4), float32(i%5)*0.5)
+	}
+	return m
+}
+
+func runMain(t *testing.T, m *vm.Machine) func() error {
+	addr, _ := m.GlobalAddr("data")
+	return func() error {
+		_, err := m.Run("main", addr)
+		return err
+	}
+}
+
+func TestAttachDetectsPlatform(t *testing.T) {
+	m := newMachine(t, platform.X60())
+	tool, err := Attach(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.Platform().Name != "SpacemiT X60" {
+		t.Errorf("detected %q", tool.Platform().Name)
+	}
+}
+
+func TestStatCountsAndIPC(t *testing.T) {
+	m := newMachine(t, platform.X60())
+	tool, _ := Attach(m)
+	res, err := tool.Stat([]isa.EventCode{isa.EventCycles, isa.EventInstructions,
+		isa.EventBranchInstructions}, runMain(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["cycles"] == 0 || res.Values["instructions"] == 0 ||
+		res.Values["branches"] == 0 {
+		t.Errorf("missing counts: %+v", res.Values)
+	}
+	ipc := res.IPC()
+	if ipc <= 0 || ipc > 2 {
+		t.Errorf("X60 IPC = %.2f out of range (dual-issue in-order)", ipc)
+	}
+	if res.ElapsedSeconds <= 0 {
+		t.Error("elapsed time not measured")
+	}
+}
+
+func TestRecordUsesWorkaroundLeaderOnX60(t *testing.T) {
+	m := newMachine(t, platform.X60())
+	tool, _ := Attach(m)
+	rec, err := tool.Record(RecordOptions{FreqHz: 40_000}, runMain(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LeaderLabel != "u_mode_cycle" {
+		t.Errorf("X60 leader = %q, want u_mode_cycle (the workaround)", rec.LeaderLabel)
+	}
+	if len(rec.Samples) < 10 {
+		t.Fatalf("only %d samples", len(rec.Samples))
+	}
+}
+
+func TestRecordUsesDirectLeaderOnFullPMU(t *testing.T) {
+	m := newMachine(t, platform.I5_1135G7())
+	tool, _ := Attach(m)
+	rec, err := tool.Record(RecordOptions{FreqHz: 20_000}, runMain(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LeaderLabel != "cycles" {
+		t.Errorf("full-PMU leader = %q, want cycles", rec.LeaderLabel)
+	}
+}
+
+func TestRecordImpossibleOnU74(t *testing.T) {
+	m := newMachine(t, platform.U74())
+	tool, _ := Attach(m)
+	_, err := tool.Record(RecordOptions{}, runMain(t, m))
+	if err == nil || !strings.Contains(err.Error(), "sampling unavailable") {
+		t.Errorf("U74 record: %v, want explicit sampling-unavailable error", err)
+	}
+}
+
+func TestHotspotsIdentifyHotFunction(t *testing.T) {
+	m := newMachine(t, platform.X60())
+	tool, _ := Attach(m)
+	rec, err := tool.Record(RecordOptions{FreqHz: 40_000}, runMain(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := rec.Hotspots()
+	if len(hs) == 0 {
+		t.Fatal("no hotspots")
+	}
+	if hs[0].Function != "hot" {
+		t.Errorf("top hotspot = %q, want hot\n%+v", hs[0].Function, hs)
+	}
+	if hs[0].TotalPct < 60 {
+		t.Errorf("hot share = %.1f%%, expected dominant", hs[0].TotalPct)
+	}
+	if hs[0].IPC <= 0 || hs[0].IPC > 2 {
+		t.Errorf("hot IPC = %.2f implausible for in-order X60", hs[0].IPC)
+	}
+	if hs[0].Instructions == 0 {
+		t.Error("instructions not attributed")
+	}
+	// Percentages are well-formed.
+	var total float64
+	for _, h := range hs {
+		total += h.TotalPct
+	}
+	if math.Abs(total-100) > 1 {
+		t.Errorf("percentages sum to %.2f", total)
+	}
+}
+
+func TestFlameGraphFromRecording(t *testing.T) {
+	m := newMachine(t, platform.X60())
+	tool, _ := Attach(m)
+	rec, err := tool.Record(RecordOptions{FreqHz: 20_000}, runMain(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rec.FlameGraph("workload", MetricCycles)
+	if g.Total() == 0 {
+		t.Fatal("flame graph empty")
+	}
+	// The callchain must show main calling hot.
+	if g.FrameTotal("main") == 0 {
+		t.Error("main missing from graph")
+	}
+	if g.FrameTotal("hot") == 0 {
+		t.Error("hot missing from graph")
+	}
+	if g.FrameTotal("hot") <= g.FrameTotal("cold") {
+		t.Error("hot should outweigh cold")
+	}
+	// Instruction-metric graph also renders.
+	gi := rec.FlameGraph("workload", MetricInstructions)
+	if gi.Total() == 0 {
+		t.Error("instruction flame graph empty")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricCycles.String() != "cycles" || MetricInstructions.String() != "instructions" {
+		t.Error("metric names wrong")
+	}
+}
+
+func TestStatUnknownEvent(t *testing.T) {
+	m := newMachine(t, platform.X60())
+	tool, _ := Attach(m)
+	_, err := tool.Stat([]isa.EventCode{isa.RawEvent(0xdead)}, runMain(t, m))
+	if err == nil {
+		t.Error("unknown event accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package mperfrt
+
+import "testing"
+
+func TestLoopLifecycle(t *testing.T) {
+	clock := uint64(0)
+	c := New(func() uint64 { return clock })
+	c.SetInstrumented(true)
+
+	h := c.LoopBegin(1)
+	if !c.IsInstrumented() {
+		t.Error("instrumented mode not reported")
+	}
+	c.Count(h, 100, 50, 10, 20)
+	c.Count(h, 100, 50, 10, 20)
+	clock = 1000
+	c.LoopEnd(h)
+
+	st, ok := c.Stats(1)
+	if !ok {
+		t.Fatal("no stats for loop 1")
+	}
+	if st.Invocations != 1 || st.BytesLoaded != 200 || st.BytesStored != 100 ||
+		st.IntOps != 20 || st.FPOps != 40 || st.Cycles != 1000 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if st.Bytes() != 300 || st.Ops() != 60 {
+		t.Error("aggregate helpers wrong")
+	}
+	if ai := st.ArithmeticIntensity(); ai < 0.13 || ai > 0.14 {
+		t.Errorf("AI = %f, want 40/300", ai)
+	}
+}
+
+func TestBaselineModeSkipsInstrumentation(t *testing.T) {
+	c := New(nil)
+	h := c.LoopBegin(1)
+	if c.IsInstrumented() {
+		t.Error("baseline mode reports instrumented")
+	}
+	c.LoopEnd(h)
+}
+
+func TestEnableOnlyLoops(t *testing.T) {
+	c := New(nil)
+	c.SetInstrumented(true)
+	c.EnableOnlyLoops(2)
+
+	h1 := c.LoopBegin(1)
+	if c.IsInstrumented() {
+		t.Error("loop 1 should not be instrumented")
+	}
+	c.LoopEnd(h1)
+
+	h2 := c.LoopBegin(2)
+	if !c.IsInstrumented() {
+		t.Error("loop 2 should be instrumented")
+	}
+	c.LoopEnd(h2)
+
+	c.EnableOnlyLoops() // clear filter
+	h3 := c.LoopBegin(1)
+	if !c.IsInstrumented() {
+		t.Error("filter clear failed")
+	}
+	c.LoopEnd(h3)
+}
+
+func TestNestedActivations(t *testing.T) {
+	clock := uint64(0)
+	c := New(func() uint64 { return clock })
+	c.SetInstrumented(true)
+	c.EnableOnlyLoops(7)
+
+	outer := c.LoopBegin(5)
+	if c.IsInstrumented() {
+		t.Error("outer loop 5 filtered out")
+	}
+	inner := c.LoopBegin(7)
+	if !c.IsInstrumented() {
+		t.Error("inner loop 7 should be instrumented")
+	}
+	clock = 10
+	c.LoopEnd(inner)
+	// After the inner ends, the outer context applies again.
+	if c.IsInstrumented() {
+		t.Error("outer context not restored")
+	}
+	clock = 30
+	c.LoopEnd(outer)
+
+	if st, _ := c.Stats(7); st.Cycles != 10 {
+		t.Errorf("inner cycles = %d, want 10", st.Cycles)
+	}
+	if st, _ := c.Stats(5); st.Cycles != 30 {
+		t.Errorf("outer cycles = %d, want 30", st.Cycles)
+	}
+}
+
+func TestUnbalancedCallsTolerated(t *testing.T) {
+	c := New(nil)
+	c.LoopEnd(99)           // never opened
+	c.Count(42, 1, 1, 1, 1) // no activation
+	if len(c.All()) != 0 {
+		t.Error("phantom stats created")
+	}
+}
+
+func TestMultipleInvocationsAccumulate(t *testing.T) {
+	clock := uint64(0)
+	c := New(func() uint64 { return clock })
+	for i := 0; i < 5; i++ {
+		h := c.LoopBegin(3)
+		clock += 100
+		c.LoopEnd(h)
+	}
+	st, _ := c.Stats(3)
+	if st.Invocations != 5 || st.Cycles != 500 {
+		t.Errorf("accumulation wrong: %+v", st)
+	}
+}
+
+func TestAllSortedAndReset(t *testing.T) {
+	c := New(nil)
+	for _, id := range []int64{3, 1, 2} {
+		h := c.LoopBegin(id)
+		c.LoopEnd(h)
+	}
+	all := c.All()
+	if len(all) != 3 || all[0].LoopID != 1 || all[2].LoopID != 3 {
+		t.Errorf("All() not sorted: %v", all)
+	}
+	c.Reset()
+	if len(c.All()) != 0 {
+		t.Error("reset did not clear stats")
+	}
+}
+
+func TestZeroBytesAI(t *testing.T) {
+	st := &LoopStats{FPOps: 10}
+	if st.ArithmeticIntensity() != 0 {
+		t.Error("AI with zero bytes must be 0")
+	}
+}

@@ -1,0 +1,121 @@
+package passes
+
+import "mperf/internal/ir"
+
+// CloneFunction deep-copies f into a new function named newName in the
+// same module, mirroring LLVM's CloneFunction used by the paper's
+// function-duplication step (§4.2 step 3). The returned value map
+// relates original instructions to their clones.
+func CloneFunction(f *ir.Func, newName string) (*ir.Func, map[ir.Value]ir.Value) {
+	params := make([]*ir.Param, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = ir.NewParam(p.PName, p.Ty)
+	}
+	nf := f.Mod.NewFunc(newName, f.RetTy, params...)
+	nf.SourceFile = f.SourceFile
+	nf.SourceLine = f.SourceLine
+	for k, v := range f.Hints {
+		nf.SetHint(k, v)
+	}
+
+	vmap := make(map[ir.Value]ir.Value)
+	for i, p := range f.Params {
+		vmap[p] = params[i]
+	}
+	bmap := make(map[*ir.Block]*ir.Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		bmap[b] = nf.NewBlock(b.BName)
+	}
+	// First create all instruction clones so forward references (phis)
+	// can resolve, then fill in operands.
+	var clones []*ir.Instr
+	var origs []*ir.Instr
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			c := &ir.Instr{
+				Op:     in.Op,
+				Ty:     in.Ty,
+				Pred:   in.Pred,
+				Scale:  in.Scale,
+				Lane:   in.Lane,
+				Callee: in.Callee,
+			}
+			c.SetName(in.Name())
+			if len(in.Cases) > 0 {
+				c.Cases = append([]int64(nil), in.Cases...)
+			}
+			ir.SetInstrBlock(c, nb)
+			nb.Instrs = append(nb.Instrs, c)
+			vmap[in] = c
+			clones = append(clones, c)
+			origs = append(origs, in)
+		}
+	}
+	for i, c := range clones {
+		in := origs[i]
+		if len(in.Args) > 0 {
+			c.Args = make([]ir.Value, len(in.Args))
+			for j, a := range in.Args {
+				c.Args[j] = mapValue(a, vmap)
+			}
+		}
+		if len(in.Blocks) > 0 {
+			c.Blocks = make([]*ir.Block, len(in.Blocks))
+			for j, bb := range in.Blocks {
+				c.Blocks[j] = bmap[bb]
+			}
+		}
+	}
+	return nf, vmap
+}
+
+// mapValue resolves a value through the clone map; values without an
+// entry (constants, globals, functions, out-of-scope definitions) map
+// to themselves.
+func mapValue(v ir.Value, vmap map[ir.Value]ir.Value) ir.Value {
+	if nv, ok := vmap[v]; ok {
+		return nv
+	}
+	return v
+}
+
+// cloneInstrShallow duplicates a single instruction, remapping value
+// operands through vmap (blocks are copied as-is; callers fix them up
+// when needed). Used by the unroller to duplicate loop bodies.
+func cloneInstrShallow(in *ir.Instr, vmap map[ir.Value]ir.Value) *ir.Instr {
+	c := &ir.Instr{
+		Op:     in.Op,
+		Ty:     in.Ty,
+		Pred:   in.Pred,
+		Scale:  in.Scale,
+		Lane:   in.Lane,
+		Callee: in.Callee,
+	}
+	if len(in.Args) > 0 {
+		c.Args = make([]ir.Value, len(in.Args))
+		for i, a := range in.Args {
+			c.Args[i] = mapValue(a, vmap)
+		}
+	}
+	if len(in.Blocks) > 0 {
+		c.Blocks = append([]*ir.Block(nil), in.Blocks...)
+	}
+	if len(in.Cases) > 0 {
+		c.Cases = append([]int64(nil), in.Cases...)
+	}
+	return c
+}
+
+// replaceUses rewrites every use of old with new across the function.
+func replaceUses(f *ir.Func, old, new ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package passes
+
+import (
+	"fmt"
+
+	"mperf/internal/ir"
+)
+
+// ExtractResult describes the outcome of outlining a region.
+type ExtractResult struct {
+	// Outlined is the new function holding the region body.
+	Outlined *ir.Func
+	// Call is the call instruction left at the original site.
+	Call *ir.Instr
+	// CallBlock is the block containing the call (the old preheader).
+	CallBlock *ir.Block
+	// LiveIns are the values passed as arguments, in parameter order.
+	// With out-pointer live-outs, the out pointers follow the live-ins
+	// in the outlined signature and in Call's argument list.
+	LiveIns []ir.Value
+	// CallArgs are the full arguments of Call (live-ins plus any
+	// out-pointer allocas).
+	CallArgs []ir.Value
+	// LiveOut is the single scalar value flowing out of the region
+	// (returned by the outlined function), or nil. When the region has
+	// several live-outs they are communicated through out-pointers
+	// instead and LiveOut stays nil.
+	LiveOut ir.Value
+}
+
+// ExtractRegion outlines a SESE region into a fresh function, the
+// analogue of LLVM's CodeExtractor (§4.2 step 2). Live-in values
+// become parameters; at most one scalar live-out is supported and
+// becomes the return value (the paper's loop kernels communicate
+// through memory, so richer live-out plumbing is not needed — the
+// extractor declines other shapes rather than mis-compiling them).
+//
+// The caller-side region is replaced by a single call in the old
+// preheader, which then branches to the old exit block.
+func ExtractRegion(f *ir.Func, r *Region, name string) (*ExtractResult, error) {
+	inRegion := func(v ir.Value) *ir.Instr {
+		in, ok := v.(*ir.Instr)
+		if ok && r.Blocks[in.Block()] {
+			return in
+		}
+		return nil
+	}
+
+	// Collect live-ins (defined outside, used inside) and live-outs
+	// (defined inside, used outside), deterministically.
+	var liveIns []ir.Value
+	seenIn := map[ir.Value]bool{}
+	var liveOuts []*ir.Instr
+	seenOut := map[*ir.Instr]bool{}
+
+	regionBlocks := r.BlockList(f)
+	for _, b := range regionBlocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				switch v := a.(type) {
+				case *ir.Const, *ir.Global, *ir.Func, nil:
+					continue
+				case *ir.Param:
+					if !seenIn[v] {
+						seenIn[v] = true
+						liveIns = append(liveIns, v)
+					}
+				case *ir.Instr:
+					if !r.Blocks[v.Block()] && !seenIn[v] {
+						seenIn[v] = true
+						liveIns = append(liveIns, v)
+					}
+				}
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		if r.Blocks[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if d := inRegion(a); d != nil && !seenOut[d] {
+					seenOut[d] = true
+					liveOuts = append(liveOuts, d)
+				}
+			}
+		}
+	}
+	// One live-out travels through the return value; several travel
+	// through out-pointer parameters (the strategy LLVM's CodeExtractor
+	// uses), with caller-side allocas providing the slots.
+	var liveOut *ir.Instr
+	retTy := ir.Void
+	var outPtrOuts []*ir.Instr
+	if len(liveOuts) == 1 {
+		liveOut = liveOuts[0]
+		retTy = liveOut.Ty
+	} else if len(liveOuts) > 1 {
+		outPtrOuts = liveOuts
+	}
+
+	// Build the outlined function signature.
+	params := make([]*ir.Param, len(liveIns), len(liveIns)+len(outPtrOuts))
+	for i, v := range liveIns {
+		params[i] = ir.NewParam(fmt.Sprintf("in%d", i), v.Type())
+	}
+	outParams := make([]*ir.Param, len(outPtrOuts))
+	for i := range outPtrOuts {
+		outParams[i] = ir.NewParam(fmt.Sprintf("out%d", i), ir.Ptr)
+		params = append(params, outParams[i])
+	}
+	nf := f.Mod.NewFunc(name, retTy, params...)
+	nf.SourceFile = f.SourceFile
+	nf.SourceLine = f.SourceLine
+	for k, v := range f.Hints {
+		nf.SetHint(k, v)
+	}
+
+	// Move the region blocks into the new function.
+	blockSet := r.Blocks
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if blockSet[b] {
+			ir.ReparentBlock(b, nf)
+			nf.Blocks = append(nf.Blocks, b)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+
+	// Inside the region: replace live-in uses with parameters.
+	for i, v := range liveIns {
+		for _, b := range nf.Blocks {
+			for _, in := range b.Instrs {
+				for j, a := range in.Args {
+					if a == v {
+						in.Args[j] = params[i]
+					}
+				}
+			}
+		}
+	}
+
+	// Retarget phi incomings that referenced the old preheader: the new
+	// function is entered straight into the region entry, so give it a
+	// fresh entry block branching to the old header (this preserves the
+	// "entry has no predecessors" invariant).
+	entry := &ir.Block{BName: "outlined.entry"}
+	ir.ReparentBlock(entry, nf)
+	nf.Blocks = append([]*ir.Block{entry}, nf.Blocks...)
+	entryBr := &ir.Instr{Op: ir.OpBr, Ty: ir.Void, Blocks: []*ir.Block{r.Entry}}
+	ir.SetInstrBlock(entryBr, entry)
+	entry.Instrs = []*ir.Instr{entryBr}
+	for _, phi := range r.Entry.Phis() {
+		for i, b := range phi.Blocks {
+			if b == r.Before {
+				phi.Blocks[i] = entry
+			}
+		}
+	}
+
+	// Rewrite the exit edge into a return block; out-pointer live-outs
+	// are stored into their slots before returning.
+	retBlk := &ir.Block{BName: "outlined.ret"}
+	ir.ReparentBlock(retBlk, nf)
+	nf.Blocks = append(nf.Blocks, retBlk)
+	for i, lo := range outPtrOuts {
+		st := &ir.Instr{Op: ir.OpStore, Ty: ir.Void, Args: []ir.Value{lo, outParams[i]}}
+		ir.SetInstrBlock(st, retBlk)
+		retBlk.Instrs = append(retBlk.Instrs, st)
+	}
+	ret := &ir.Instr{Op: ir.OpRet, Ty: ir.Void}
+	if liveOut != nil {
+		ret.Args = []ir.Value{liveOut}
+	}
+	ir.SetInstrBlock(ret, retBlk)
+	retBlk.Instrs = append(retBlk.Instrs, ret)
+	for _, b := range nf.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		for i, dst := range t.Blocks {
+			if dst == r.Exit {
+				t.Blocks[i] = retBlk
+			}
+		}
+	}
+
+	// Caller side: the preheader's terminator (br into the region)
+	// becomes [allocas,] call [, reloads] + br exit.
+	phTerm := r.Before.Term()
+	if phTerm == nil || phTerm.Op != ir.OpBr {
+		return nil, fmt.Errorf("passes: preheader %s does not end in an unconditional branch", r.Before.BName)
+	}
+	r.Before.Instrs = r.Before.Instrs[:len(r.Before.Instrs)-1]
+	callArgs := append([]ir.Value(nil), liveIns...)
+	var slots []*ir.Instr
+	for i, lo := range outPtrOuts {
+		slot := &ir.Instr{Op: ir.OpAlloca, Ty: ir.Ptr,
+			Args: []ir.Value{ir.ConstInt(ir.I64, 1)}, Scale: int64(lo.Ty.Size())}
+		slot.SetName(f.UniqueValueName(fmt.Sprintf("slot%d.", i)))
+		ir.SetInstrBlock(slot, r.Before)
+		r.Before.Instrs = append(r.Before.Instrs, slot)
+		slots = append(slots, slot)
+		callArgs = append(callArgs, slot)
+	}
+	call := &ir.Instr{Op: ir.OpCall, Ty: retTy, Callee: nf, Args: callArgs}
+	if retTy != ir.Void {
+		call.SetName(f.UniqueValueName("out"))
+	}
+	ir.SetInstrBlock(call, r.Before)
+	r.Before.Instrs = append(r.Before.Instrs, call)
+	reloads := make([]*ir.Instr, len(outPtrOuts))
+	for i, lo := range outPtrOuts {
+		ld := &ir.Instr{Op: ir.OpLoad, Ty: lo.Ty, Args: []ir.Value{slots[i]}}
+		ld.SetName(f.UniqueValueName(fmt.Sprintf("reload%d.", i)))
+		ir.SetInstrBlock(ld, r.Before)
+		r.Before.Instrs = append(r.Before.Instrs, ld)
+		reloads[i] = ld
+	}
+	br := &ir.Instr{Op: ir.OpBr, Ty: ir.Void, Blocks: []*ir.Block{r.Exit}}
+	ir.SetInstrBlock(br, r.Before)
+	r.Before.Instrs = append(r.Before.Instrs, br)
+
+	// Outside uses of live-outs become uses of the call result (single
+	// live-out) or the reloaded slots; single-incoming exit phis
+	// collapse to plain values first.
+	replacement := func(d *ir.Instr) ir.Value {
+		if d == liveOut {
+			return call
+		}
+		for i, lo := range outPtrOuts {
+			if d == lo {
+				return reloads[i]
+			}
+		}
+		return nil
+	}
+	for _, phi := range r.Exit.Phis() {
+		if len(phi.Args) == 1 {
+			v := phi.Args[0]
+			if d := inRegion(v); d != nil {
+				replaceUses(f, phi, replacement(d))
+			} else {
+				replaceUses(f, phi, v)
+			}
+			removeInstr(r.Exit, phi)
+		}
+	}
+	if liveOut != nil {
+		replaceUses(f, liveOut, call)
+	}
+	for i, lo := range outPtrOuts {
+		replaceUses(f, lo, reloads[i])
+		// replaceUses is function-wide; restore the reload's own
+		// operand (the slot) and the other reloads.
+		reloads[i].Args[0] = slots[i]
+	}
+	return &ExtractResult{
+		Outlined:  nf,
+		Call:      call,
+		CallBlock: r.Before,
+		LiveIns:   liveIns,
+		CallArgs:  callArgs,
+		LiveOut:   liveOut,
+	}, nil
+}
+
+// removeInstr deletes in from block b.
+func removeInstr(b *ir.Block, in *ir.Instr) {
+	for i, x := range b.Instrs {
+		if x == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			return
+		}
+	}
+}

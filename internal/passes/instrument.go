@@ -1,0 +1,313 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"mperf/internal/ir"
+)
+
+// Intrinsic names the instrumentation runtime resolves. The
+// interpreter dispatches calls to these declarations into the mperfrt
+// package; on real hardware they would be the libmperf C entry points
+// from the paper's call-site listing.
+const (
+	IntrinsicLoopBegin      = "mperf.loop_begin"
+	IntrinsicLoopEnd        = "mperf.loop_end"
+	IntrinsicIsInstrumented = "mperf.is_instrumented"
+	IntrinsicCount          = "mperf.count"
+)
+
+// IsIntrinsicName reports whether a function name belongs to the
+// instrumentation runtime.
+func IsIntrinsicName(name string) bool { return strings.HasPrefix(name, "mperf.") }
+
+// declareIntrinsics ensures the runtime declarations exist in the
+// module and returns them.
+func declareIntrinsics(m *ir.Module) (begin, end, isInstr, count *ir.Func) {
+	get := func(name string, ret ir.Type, ptypes ...ir.Type) *ir.Func {
+		if f := m.FuncByName(name); f != nil {
+			return f
+		}
+		params := make([]*ir.Param, len(ptypes))
+		for i, t := range ptypes {
+			params[i] = ir.NewParam(fmt.Sprintf("a%d", i), t)
+		}
+		return m.NewFunc(name, ret, params...)
+	}
+	begin = get(IntrinsicLoopBegin, ir.I64, ir.I64)
+	end = get(IntrinsicLoopEnd, ir.Void, ir.I64)
+	isInstr = get(IntrinsicIsInstrumented, ir.I1)
+	count = get(IntrinsicCount, ir.Void, ir.I64, ir.I64, ir.I64, ir.I64, ir.I64)
+	return
+}
+
+// BlockCost is the static per-execution cost of one basic block, the
+// quantity the instrumented clone accumulates at run time (§4.2 step 5).
+type BlockCost struct {
+	BytesLoaded int64
+	BytesStored int64
+	IntOps      int64
+	FPOps       int64
+}
+
+// IsZero reports whether the block contributes nothing.
+func (c BlockCost) IsZero() bool {
+	return c.BytesLoaded == 0 && c.BytesStored == 0 && c.IntOps == 0 && c.FPOps == 0
+}
+
+// CostOfBlock statically counts the block's memory traffic and
+// arithmetic. Vector operations count all lanes; FMA counts two FLOPs
+// per lane, matching how the paper's IR-level counting treats fused
+// ops.
+func CostOfBlock(b *ir.Block) BlockCost {
+	var c BlockCost
+	for _, in := range b.Instrs {
+		lanes := int64(1)
+		if in.Ty.IsVector() {
+			lanes = int64(in.Ty.Lanes)
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			c.BytesLoaded += int64(in.Ty.Size())
+		case ir.OpStore:
+			c.BytesStored += int64(in.Args[0].Type().Size())
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
+			ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+			if in.Ty.IsInteger() {
+				c.IntOps += lanes
+			}
+		case ir.OpICmp:
+			c.IntOps++
+		case ir.OpGEP:
+			// Address arithmetic: base + index*scale.
+			c.IntOps++
+		case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+			c.FPOps += lanes
+		case ir.OpFMA:
+			c.FPOps += 2 * lanes
+		case ir.OpFCmp:
+			c.FPOps += lanes
+		case ir.OpReduce:
+			if v := in.Args[0].Type(); v.IsVector() && v.Elem().IsFloat() {
+				c.FPOps += int64(v.Lanes - 1)
+			}
+		}
+	}
+	return c
+}
+
+// InstrumentResult records what the pass produced for one loop nest.
+type InstrumentResult struct {
+	LoopID       int64
+	Outlined     *ir.Func
+	Instrumented *ir.Func
+}
+
+// InstrumentModule applies the paper's Roofline instrumentation to
+// every top-level loop nest of every function in the module (§4.2):
+//
+//  1. loop-nest identification (LoopInfo),
+//  2. SESE region check and outlining (RegionInfo + CodeExtractor),
+//  3. duplication into baseline and instrumented versions,
+//  4. call-site dispatch between them via the runtime's
+//     is_instrumented flag, wrapped in loop_begin/loop_end
+//     notifications,
+//  5. per-block metric counting in the instrumented clone.
+//
+// Loops that do not form SESE regions, or contain calls to functions
+// outside the module's control, are skipped — the "external function
+// calls" limitation the paper lists in §4.4.
+func InstrumentModule(m *ir.Module) ([]InstrumentResult, error) {
+	begin, end, isInstr, count := declareIntrinsics(m)
+
+	var results []InstrumentResult
+	funcs := append([]*ir.Func(nil), m.Funcs...) // snapshot: the pass adds functions
+	for _, f := range funcs {
+		if len(f.Blocks) == 0 || IsIntrinsicName(f.FName) ||
+			strings.Contains(f.FName, "_outlined") || strings.Contains(f.FName, "_instrumented") {
+			continue
+		}
+		li := ComputeLoopInfo(f)
+		for idx, loop := range li.TopLevel {
+			res, err := instrumentLoop(m, f, loop, idx, begin, end, isInstr, count)
+			if err != nil {
+				// Non-SESE or otherwise unsupported loops are skipped,
+				// not fatal: the tool instruments what it can.
+				continue
+			}
+			results = append(results, *res)
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("passes: instrumented module fails verification: %w", err)
+	}
+	return results, nil
+}
+
+func instrumentLoop(m *ir.Module, f *ir.Func, loop *Loop, idx int,
+	begin, end, isInstr, count *ir.Func) (*InstrumentResult, error) {
+
+	if _, err := InsertPreheader(f, loop); err != nil {
+		return nil, err
+	}
+	region, err := LoopRegion(f, loop)
+	if err != nil {
+		return nil, err
+	}
+	for b := range region.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && len(in.Callee.Blocks) == 0 && !IsIntrinsicName(in.Callee.FName) {
+				return nil, fmt.Errorf("passes: loop at %s calls external function @%s",
+					loop.Header.BName, in.Callee.FName)
+			}
+		}
+	}
+
+	baseName := fmt.Sprintf("%s_loop%d", f.FName, idx)
+	ext, err := ExtractRegion(f, region, baseName+"_outlined")
+	if err != nil {
+		return nil, err
+	}
+
+	// Duplicate: the instrumented clone takes one extra handle
+	// parameter used by the counting calls.
+	inst, _ := CloneFunction(ext.Outlined, baseName+"_instrumented")
+	handle := ir.NewParam("mperf.handle", ir.I64)
+	handle.Index = len(inst.Params)
+	inst.Params = append(inst.Params, handle)
+
+	// Per-block counting in the clone. The extractor's return block
+	// contains only live-out plumbing (stores into caller slots), not
+	// workload traffic, and is excluded.
+	for _, b := range inst.Blocks {
+		if b.BName == "outlined.ret" {
+			continue
+		}
+		cost := CostOfBlock(b)
+		if cost.IsZero() {
+			continue
+		}
+		call := &ir.Instr{Op: ir.OpCall, Ty: ir.Void, Callee: count, Args: []ir.Value{
+			handle,
+			ir.ConstInt(ir.I64, cost.BytesLoaded),
+			ir.ConstInt(ir.I64, cost.BytesStored),
+			ir.ConstInt(ir.I64, cost.IntOps),
+			ir.ConstInt(ir.I64, cost.FPOps),
+		}}
+		insertBeforeTerm(b, call)
+	}
+
+	// Register the loop's static metadata.
+	loopID := m.AddLoopMeta(ir.LoopMeta{
+		File:     f.SourceFile,
+		Line:     f.SourceLine,
+		FuncName: f.FName,
+		Header:   loop.Header.BName,
+	})
+
+	// Rewrite the call site into the two-version dispatch from the
+	// paper's listing.
+	rewriteCallSite(f, ext, inst, handle, loopID, begin, end, isInstr)
+
+	return &InstrumentResult{LoopID: loopID, Outlined: ext.Outlined, Instrumented: inst}, nil
+}
+
+// rewriteCallSite turns
+//
+//	call @outlined(args); br exit
+//
+// into
+//
+//	%h = call @mperf.loop_begin(loopID)
+//	%f = call @mperf.is_instrumented()
+//	condbr %f, instr, orig
+//	instr: call @instrumented(args, %h); br join
+//	orig:  call @outlined(args);          br join
+//	join:  call @mperf.loop_end(%h);      br exit
+func rewriteCallSite(f *ir.Func, ext *ExtractResult, inst *ir.Func, handle *ir.Param,
+	loopID int64, begin, end, isInstr *ir.Func) {
+
+	cb := ext.CallBlock
+	call := ext.Call
+	exitBr := cb.Term() // br exit
+	exit := exitBr.Blocks[0]
+
+	// Split the call block at the call: everything before it (including
+	// any out-slot allocas) stays; everything after it (reloads and the
+	// final branch) moves into the join block.
+	callIdx := -1
+	for i, in := range cb.Instrs {
+		if in == call {
+			callIdx = i
+			break
+		}
+	}
+	if callIdx < 0 {
+		panic("passes: extraction call not found in its block")
+	}
+	tail := append([]*ir.Instr(nil), cb.Instrs[callIdx+1:]...)
+	cb.Instrs = cb.Instrs[:callIdx]
+
+	instrBlk := f.NewBlock(cb.BName + ".instr")
+	origBlk := f.NewBlock(cb.BName + ".orig")
+	joinBlk := f.NewBlock(cb.BName + ".join")
+
+	appendTo := func(b *ir.Block, in *ir.Instr) {
+		ir.SetInstrBlock(in, b)
+		b.Instrs = append(b.Instrs, in)
+	}
+
+	h := &ir.Instr{Op: ir.OpCall, Ty: ir.I64, Callee: begin,
+		Args: []ir.Value{ir.ConstInt(ir.I64, loopID)}}
+	h.SetName(f.UniqueValueName("h"))
+	appendTo(cb, h)
+	flag := &ir.Instr{Op: ir.OpCall, Ty: ir.I1, Callee: isInstr}
+	flag.SetName(f.UniqueValueName("instr"))
+	appendTo(cb, flag)
+	appendTo(cb, &ir.Instr{Op: ir.OpCondBr, Ty: ir.Void,
+		Args: []ir.Value{flag}, Blocks: []*ir.Block{instrBlk, origBlk}})
+
+	instArgs := append(append([]ir.Value(nil), ext.CallArgs...), h)
+	instCall := &ir.Instr{Op: ir.OpCall, Ty: inst.RetTy, Callee: inst, Args: instArgs}
+	if inst.RetTy != ir.Void {
+		instCall.SetName(f.UniqueValueName("ri"))
+	}
+	appendTo(instrBlk, instCall)
+	appendTo(instrBlk, &ir.Instr{Op: ir.OpBr, Ty: ir.Void, Blocks: []*ir.Block{joinBlk}})
+
+	origCall := &ir.Instr{Op: ir.OpCall, Ty: ext.Outlined.RetTy, Callee: ext.Outlined,
+		Args: append([]ir.Value(nil), ext.CallArgs...)}
+	if ext.Outlined.RetTy != ir.Void {
+		origCall.SetName(f.UniqueValueName("ro"))
+	}
+	appendTo(origBlk, origCall)
+	appendTo(origBlk, &ir.Instr{Op: ir.OpBr, Ty: ir.Void, Blocks: []*ir.Block{joinBlk}})
+
+	// Join: merge the result (if any), notify loop end, then run the
+	// tail (out-slot reloads and the branch to the exit).
+	if ext.Outlined.RetTy != ir.Void {
+		merged := &ir.Instr{Op: ir.OpPhi, Ty: ext.Outlined.RetTy}
+		merged.SetName(f.UniqueValueName("r"))
+		appendTo(joinBlk, merged)
+		ir.AddIncoming(merged, instCall, instrBlk)
+		ir.AddIncoming(merged, origCall, origBlk)
+		replaceUses(f, call, merged)
+		// The phi's own operands were just rewritten if call appeared
+		// there; restore them (replaceUses is function-wide).
+		merged.Args[0], merged.Args[1] = instCall, origCall
+	}
+	appendTo(joinBlk, &ir.Instr{Op: ir.OpCall, Ty: ir.Void, Callee: end, Args: []ir.Value{h}})
+	for _, in := range tail {
+		appendTo(joinBlk, in)
+	}
+
+	// Phis in exit that referenced the call block now come from join.
+	for _, phi := range exit.Phis() {
+		for i, b := range phi.Blocks {
+			if b == cb {
+				phi.Blocks[i] = joinBlk
+			}
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package passes implements the compiler analyses and transformations
+// the paper's Roofline instrumentation builds on (§4.2): natural-loop
+// detection, loop canonicalization, SESE region analysis, region
+// extraction (outlining), function cloning, the per-block metric
+// instrumentation pass itself, and the optimizer passes whose quality
+// differences the evaluation measures (loop vectorization, reduction
+// unrolling).
+package passes
+
+import (
+	"fmt"
+
+	"mperf/internal/ir"
+)
+
+// Loop is one natural loop.
+type Loop struct {
+	Header   *ir.Block
+	Blocks   map[*ir.Block]bool
+	Parent   *Loop
+	Children []*Loop
+
+	fn *ir.Func
+}
+
+// Contains reports whether b belongs to the loop (including nested
+// loops' blocks).
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// Depth returns the nesting depth (1 = top-level).
+func (l *Loop) Depth() int {
+	d := 1
+	for p := l.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// IsInnermost reports whether the loop has no children.
+func (l *Loop) IsInnermost() bool { return len(l.Children) == 0 }
+
+// Latches returns the in-loop predecessors of the header.
+func (l *Loop) Latches() []*ir.Block {
+	var out []*ir.Block
+	for _, p := range ir.Preds(l.fn)[l.Header] {
+		if l.Blocks[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Preheader returns the unique out-of-loop predecessor of the header
+// whose only successor is the header, or nil when the loop is not in
+// canonical form (run InsertPreheader to fix that).
+func (l *Loop) Preheader() *ir.Block {
+	var outside []*ir.Block
+	for _, p := range ir.Preds(l.fn)[l.Header] {
+		if !l.Blocks[p] {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) != 1 {
+		return nil
+	}
+	ph := outside[0]
+	if succs := ph.Succs(); len(succs) != 1 || succs[0] != l.Header {
+		return nil
+	}
+	return ph
+}
+
+// ExitEdges returns the (from, to) CFG edges leaving the loop.
+func (l *Loop) ExitEdges() [][2]*ir.Block {
+	var out [][2]*ir.Block
+	for b := range l.Blocks {
+		for _, s := range b.Succs() {
+			if !l.Blocks[s] {
+				out = append(out, [2]*ir.Block{b, s})
+			}
+		}
+	}
+	return out
+}
+
+// UniqueExit returns the single block all exit edges lead to, or nil.
+func (l *Loop) UniqueExit() *ir.Block {
+	var exit *ir.Block
+	for _, e := range l.ExitEdges() {
+		if exit == nil {
+			exit = e[1]
+		} else if exit != e[1] {
+			return nil
+		}
+	}
+	return exit
+}
+
+// BlockList returns the loop blocks in function order (deterministic).
+func (l *Loop) BlockList() []*ir.Block {
+	var out []*ir.Block
+	for _, b := range l.fn.Blocks {
+		if l.Blocks[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// LoopInfo is the loop nesting forest of a function.
+type LoopInfo struct {
+	TopLevel []*Loop
+	byHeader map[*ir.Block]*Loop
+	fn       *ir.Func
+}
+
+// ComputeLoopInfo finds all natural loops via back edges (edges whose
+// target dominates their source) and builds the nesting forest.
+func ComputeLoopInfo(f *ir.Func) *LoopInfo {
+	dom := ir.NewDomTree(f)
+	preds := ir.Preds(f)
+
+	// Find back edges and group latches by header.
+	latchesOf := make(map[*ir.Block][]*ir.Block)
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b) {
+			continue
+		}
+		for _, s := range b.Succs() {
+			if dom.Dominates(s, b) {
+				latchesOf[s] = append(latchesOf[s], b)
+			}
+		}
+	}
+
+	li := &LoopInfo{byHeader: make(map[*ir.Block]*Loop), fn: f}
+	var loops []*Loop
+	for _, h := range f.Blocks { // deterministic header order
+		latches, ok := latchesOf[h]
+		if !ok {
+			continue
+		}
+		l := &Loop{Header: h, Blocks: map[*ir.Block]bool{h: true}, fn: f}
+		// Collect the loop body: reverse CFG walk from the latches,
+		// stopping at the header.
+		var stack []*ir.Block
+		for _, lt := range latches {
+			if !l.Blocks[lt] {
+				l.Blocks[lt] = true
+				stack = append(stack, lt)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range preds[b] {
+				if !l.Blocks[p] && dom.Reachable(p) {
+					l.Blocks[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		loops = append(loops, l)
+		li.byHeader[h] = l
+	}
+
+	// Nesting: parent = smallest strictly-containing loop.
+	for _, inner := range loops {
+		var best *Loop
+		for _, outer := range loops {
+			if outer == inner || len(outer.Blocks) <= len(inner.Blocks) {
+				continue
+			}
+			if !outer.Blocks[inner.Header] {
+				continue
+			}
+			if best == nil || len(outer.Blocks) < len(best.Blocks) {
+				best = outer
+			}
+		}
+		inner.Parent = best
+	}
+	for _, l := range loops {
+		if l.Parent == nil {
+			li.TopLevel = append(li.TopLevel, l)
+		} else {
+			l.Parent.Children = append(l.Parent.Children, l)
+		}
+	}
+	return li
+}
+
+// LoopOf returns the loop headed at b, if any.
+func (li *LoopInfo) LoopOf(header *ir.Block) *Loop { return li.byHeader[header] }
+
+// Loops returns every loop in the forest, outermost first within each
+// nest, in deterministic order.
+func (li *LoopInfo) Loops() []*Loop {
+	var out []*Loop
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		out = append(out, l)
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, l := range li.TopLevel {
+		walk(l)
+	}
+	return out
+}
+
+// InnermostFirst returns every loop ordered so children precede their
+// parents (the order vectorization attempts proceed in).
+func (li *LoopInfo) InnermostFirst() []*Loop {
+	all := li.Loops()
+	for i, j := 0, len(all)-1; i < j; i, j = i+1, j-1 {
+		all[i], all[j] = all[j], all[i]
+	}
+	return all
+}
+
+// CanonicalIV describes a canonical induction variable: a header phi
+// starting at Init and stepping by a constant each iteration, with an
+// exit condition icmp(Pred, Next, Bound).
+type CanonicalIV struct {
+	Phi    *ir.Instr // the IV phi in the header
+	Init   ir.Value  // incoming from preheader
+	Step   *ir.Instr // the add producing the next value
+	StepBy int64     // constant step
+	Cond   *ir.Instr // the controlling icmp, if identified
+	Bound  ir.Value  // loop bound operand of Cond
+}
+
+// FindCanonicalIV identifies the canonical IV of a loop whose header
+// phi has exactly two incomings (preheader and a single latch) and
+// whose step is phi + constant.
+func FindCanonicalIV(l *Loop) (*CanonicalIV, error) {
+	latches := l.Latches()
+	if len(latches) != 1 {
+		return nil, fmt.Errorf("passes: loop at %s has %d latches", l.Header.BName, len(latches))
+	}
+	latch := latches[0]
+	for _, phi := range l.Header.Phis() {
+		if !phi.Ty.IsInteger() || len(phi.Args) != 2 {
+			continue
+		}
+		var init, next ir.Value
+		for i, blk := range phi.Blocks {
+			if blk == latch {
+				next = phi.Args[i]
+			} else {
+				init = phi.Args[i]
+			}
+		}
+		step, ok := next.(*ir.Instr)
+		if !ok || step.Op != ir.OpAdd {
+			continue
+		}
+		var stepBy int64
+		if step.Args[0] == phi {
+			c, ok := step.Args[1].(*ir.Const)
+			if !ok {
+				continue
+			}
+			stepBy = c.Int
+		} else if step.Args[1] == phi {
+			c, ok := step.Args[0].(*ir.Const)
+			if !ok {
+				continue
+			}
+			stepBy = c.Int
+		} else {
+			continue
+		}
+		iv := &CanonicalIV{Phi: phi, Init: init, Step: step, StepBy: stepBy}
+		// Identify the controlling comparison: an icmp using the step
+		// result (or the phi) that feeds the latch/header terminator.
+		for _, b := range []*ir.Block{latch, l.Header} {
+			t := b.Term()
+			if t.Op != ir.OpCondBr {
+				continue
+			}
+			cond, ok := t.Args[0].(*ir.Instr)
+			if !ok || cond.Op != ir.OpICmp {
+				continue
+			}
+			if cond.Args[0] == step || cond.Args[0] == phi {
+				iv.Cond = cond
+				iv.Bound = cond.Args[1]
+			} else if cond.Args[1] == step || cond.Args[1] == phi {
+				iv.Cond = cond
+				iv.Bound = cond.Args[0]
+			}
+		}
+		return iv, nil
+	}
+	return nil, fmt.Errorf("passes: no canonical IV in loop at %s", l.Header.BName)
+}

@@ -1,0 +1,112 @@
+package passes
+
+import (
+	"fmt"
+
+	"mperf/internal/ir"
+)
+
+// InsertPreheader puts the loop into canonical form with respect to
+// entry edges: after it succeeds, the loop has a dedicated preheader
+// block whose single successor is the header. Returns the preheader.
+//
+// This is the subset of LLVM's LoopSimplify the extraction pipeline
+// needs; dedicated exits are checked (not created) by the region
+// analysis, which simply declines non-SESE loops as the paper's pass
+// does.
+func InsertPreheader(f *ir.Func, l *Loop) (*ir.Block, error) {
+	if ph := l.Preheader(); ph != nil {
+		return ph, nil
+	}
+	preds := ir.Preds(f)
+	var outside []*ir.Block
+	for _, p := range preds[l.Header] {
+		if !l.Blocks[p] {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) == 0 {
+		return nil, fmt.Errorf("passes: loop at %s is unreachable from outside", l.Header.BName)
+	}
+
+	ph := f.NewBlock(l.Header.BName + ".preheader")
+	b := ir.NewBuilder(f)
+	b.SetBlock(ph)
+
+	// Merge header phi incomings from the outside predecessors into the
+	// preheader: with one outside pred we just retarget; with several,
+	// the merged value needs a phi in the preheader.
+	for _, phi := range l.Header.Phis() {
+		var vals []ir.Value
+		var blks []*ir.Block
+		for i := len(phi.Blocks) - 1; i >= 0; i-- {
+			if !l.Blocks[phi.Blocks[i]] {
+				vals = append(vals, phi.Args[i])
+				blks = append(blks, phi.Blocks[i])
+				phi.Args = append(phi.Args[:i], phi.Args[i+1:]...)
+				phi.Blocks = append(phi.Blocks[:i], phi.Blocks[i+1:]...)
+			}
+		}
+		var merged ir.Value
+		if len(vals) == 1 {
+			merged = vals[0]
+		} else {
+			mphi := &ir.Instr{Op: ir.OpPhi, Ty: phi.Ty}
+			for i := range vals {
+				ir.AddIncoming(mphi, vals[i], blks[i])
+			}
+			// Insert at the top of the preheader.
+			insertAt(ph, 0, mphi)
+			merged = mphi
+		}
+		ir.AddIncoming(phi, merged, ph)
+	}
+
+	b.SetBlock(ph)
+	b.Br(l.Header)
+
+	// Retarget the outside predecessors' terminator edges.
+	for _, p := range outside {
+		t := p.Term()
+		for i, dst := range t.Blocks {
+			if dst == l.Header {
+				t.Blocks[i] = ph
+			}
+		}
+	}
+	return ph, nil
+}
+
+// insertAt places in at position idx within b and sets its block.
+func insertAt(b *ir.Block, idx int, in *ir.Instr) {
+	setBlock(in, b)
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = in
+}
+
+// insertBefore places newIn immediately before ref within ref's block.
+func insertBefore(ref, newIn *ir.Instr) {
+	b := ref.Block()
+	for i, in := range b.Instrs {
+		if in == ref {
+			insertAt(b, i, newIn)
+			return
+		}
+	}
+	panic("passes: insertBefore: reference instruction not in its block")
+}
+
+// insertBeforeTerm places in just before the block's terminator.
+func insertBeforeTerm(b *ir.Block, in *ir.Instr) {
+	insertAt(b, len(b.Instrs)-1, in)
+}
+
+// setBlock updates an instruction's containing-block backlink. It
+// lives here (rather than exported from ir) because only pass code
+// moves instructions between blocks.
+func setBlock(in *ir.Instr, b *ir.Block) {
+	// The ir package keeps the field unexported; mirror the builder's
+	// behaviour by reconstructing via a tiny shim.
+	ir.SetInstrBlock(in, b)
+}

@@ -1,0 +1,674 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"mperf/internal/ir"
+)
+
+// buildSum constructs: f32 sum(ptr a, i64 n) — a single-block
+// reduction loop with a dedicated preheader, trip hinted as a multiple
+// of 16.
+func buildSum(m *ir.Module) *ir.Func {
+	f := m.NewFunc("sum", ir.F32, ir.NewParam("a", ir.Ptr), ir.NewParam("n", ir.I64))
+	f.SourceFile = "sum.c"
+	f.SourceLine = 3
+	f.SetHint("trip_multiple.loop", 16)
+	b := ir.NewBuilder(f)
+	entry := b.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+
+	b.SetBlock(entry)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	acc := b.Phi(ir.F32)
+	p := b.GEP(f.Params[0], i, 4)
+	v := b.Load(ir.F32, p)
+	s := b.FAdd(acc, v)
+	inext := b.Add(i, ir.ConstInt(ir.I64, 1))
+	c := b.ICmp(ir.PredLT, inext, f.Params[1])
+	b.CondBr(c, loop, exit)
+	ir.AddIncoming(i, ir.ConstInt(ir.I64, 0), entry)
+	ir.AddIncoming(i, inext, loop)
+	ir.AddIncoming(acc, ir.ConstFloat(ir.F32, 0), entry)
+	ir.AddIncoming(acc, s, loop)
+
+	b.SetBlock(exit)
+	b.Ret(s)
+	return f
+}
+
+// buildAxpy constructs: void axpy(ptr x, ptr y, f32 a, i64 n) — a
+// non-reduction streaming loop: y[i] = a*x[i] + y[i].
+func buildAxpy(m *ir.Module) *ir.Func {
+	f := m.NewFunc("axpy", ir.Void, ir.NewParam("x", ir.Ptr), ir.NewParam("y", ir.Ptr),
+		ir.NewParam("a", ir.F32), ir.NewParam("n", ir.I64))
+	f.SetHint("trip_multiple.loop", 16)
+	b := ir.NewBuilder(f)
+	entry := b.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+
+	b.SetBlock(entry)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	px := b.GEP(f.Params[0], i, 4)
+	py := b.GEP(f.Params[1], i, 4)
+	xv := b.Load(ir.F32, px)
+	yv := b.Load(ir.F32, py)
+	r := b.FMA(f.Params[2], xv, yv)
+	b.Store(r, py)
+	inext := b.Add(i, ir.ConstInt(ir.I64, 1))
+	c := b.ICmp(ir.PredLT, inext, f.Params[3])
+	b.CondBr(c, loop, exit)
+	ir.AddIncoming(i, ir.ConstInt(ir.I64, 0), entry)
+	ir.AddIncoming(i, inext, loop)
+
+	b.SetBlock(exit)
+	b.RetVoid()
+	return f
+}
+
+// buildNest constructs a 2-deep nest shaped like the matmul tile body:
+//
+//	for j { s = C[j]; for k { s = fma(A[k], B[k*n+j], s) }; C[j] = s }
+//
+// The j loop is outer-loop-vectorizable: C and B are unit-stride in j,
+// A is uniform in j.
+func buildNest(m *ir.Module) *ir.Func {
+	f := m.NewFunc("nest", ir.Void, ir.NewParam("A", ir.Ptr), ir.NewParam("B", ir.Ptr),
+		ir.NewParam("C", ir.Ptr), ir.NewParam("n", ir.I64))
+	f.SetHint("trip_multiple.jloop", 16)
+	f.SetHint("trip_multiple.kloop", 16)
+	b := ir.NewBuilder(f)
+	entry := b.NewBlock("entry")
+	jloop := f.NewBlock("jloop")
+	kpre := f.NewBlock("kpre")
+	kloop := f.NewBlock("kloop")
+	kexit := f.NewBlock("kexit")
+	exit := f.NewBlock("exit")
+
+	b.SetBlock(entry)
+	b.Br(jloop)
+
+	b.SetBlock(jloop)
+	j := b.Phi(ir.I64)
+	b.Br(kpre)
+
+	b.SetBlock(kpre)
+	pc := b.GEP(f.Params[2], j, 4)
+	c0 := b.Load(ir.F32, pc)
+	b.Br(kloop)
+
+	b.SetBlock(kloop)
+	k := b.Phi(ir.I64)
+	s := b.Phi(ir.F32)
+	pa := b.GEP(f.Params[0], k, 4)
+	av := b.Load(ir.F32, pa)
+	kn := b.Mul(k, f.Params[3])
+	knj := b.Add(kn, j)
+	pb := b.GEP(f.Params[1], knj, 4)
+	bv := b.Load(ir.F32, pb)
+	snew := b.FMA(av, bv, s)
+	knext := b.Add(k, ir.ConstInt(ir.I64, 1))
+	kc := b.ICmp(ir.PredLT, knext, f.Params[3])
+	b.CondBr(kc, kloop, kexit)
+	ir.AddIncoming(k, ir.ConstInt(ir.I64, 0), kpre)
+	ir.AddIncoming(k, knext, kloop)
+	ir.AddIncoming(s, c0, kpre)
+	ir.AddIncoming(s, snew, kloop)
+
+	b.SetBlock(kexit)
+	pc2 := b.GEP(f.Params[2], j, 4)
+	b.Store(snew, pc2)
+	jnext := b.Add(j, ir.ConstInt(ir.I64, 1))
+	jc := b.ICmp(ir.PredLT, jnext, f.Params[3])
+	b.CondBr(jc, jloop, exit)
+	ir.AddIncoming(j, ir.ConstInt(ir.I64, 0), entry)
+	ir.AddIncoming(j, jnext, kexit)
+
+	b.SetBlock(exit)
+	b.RetVoid()
+	return f
+}
+
+func TestLoopInfoSimpleLoop(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildSum(m)
+	li := ComputeLoopInfo(f)
+	if len(li.TopLevel) != 1 {
+		t.Fatalf("found %d top-level loops, want 1", len(li.TopLevel))
+	}
+	l := li.TopLevel[0]
+	if l.Header.BName != "loop" {
+		t.Errorf("header = %s, want loop", l.Header.BName)
+	}
+	if !l.IsInnermost() || l.Depth() != 1 {
+		t.Error("simple loop must be innermost at depth 1")
+	}
+	if ph := l.Preheader(); ph == nil || ph.BName != "entry" {
+		t.Error("preheader not identified")
+	}
+	if len(l.Latches()) != 1 || l.Latches()[0].BName != "loop" {
+		t.Error("latch not identified")
+	}
+	if ex := l.UniqueExit(); ex == nil || ex.BName != "exit" {
+		t.Error("unique exit not identified")
+	}
+}
+
+func TestLoopInfoNest(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildNest(m)
+	li := ComputeLoopInfo(f)
+	if len(li.TopLevel) != 1 {
+		t.Fatalf("found %d top-level loops, want 1", len(li.TopLevel))
+	}
+	j := li.TopLevel[0]
+	if j.Header.BName != "jloop" || len(j.Children) != 1 {
+		t.Fatalf("outer loop wrong: header %s, %d children", j.Header.BName, len(j.Children))
+	}
+	k := j.Children[0]
+	if k.Header.BName != "kloop" || k.Parent != j || k.Depth() != 2 {
+		t.Error("inner loop nesting wrong")
+	}
+	if !j.Contains(k.Header) {
+		t.Error("outer loop must contain inner header")
+	}
+	order := li.InnermostFirst()
+	if order[0] != k {
+		t.Error("InnermostFirst must put the k loop first")
+	}
+}
+
+func TestFindCanonicalIV(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildSum(m)
+	li := ComputeLoopInfo(f)
+	iv, err := FindCanonicalIV(li.TopLevel[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.StepBy != 1 {
+		t.Errorf("step = %d, want 1", iv.StepBy)
+	}
+	if iv.Cond == nil || iv.Bound != f.Params[1] {
+		t.Error("controlling condition not identified")
+	}
+	if c, ok := iv.Init.(*ir.Const); !ok || c.Int != 0 {
+		t.Error("init not identified")
+	}
+}
+
+func TestInsertPreheaderMergesEntries(t *testing.T) {
+	// Build a loop whose header has two outside predecessors.
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Void, ir.NewParam("c", ir.I1), ir.NewParam("n", ir.I64))
+	b := ir.NewBuilder(f)
+	entry := b.NewBlock("entry")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+
+	b.SetBlock(entry)
+	b.CondBr(f.Params[0], left, right)
+	b.SetBlock(left)
+	b.Br(loop)
+	b.SetBlock(right)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	inext := b.Add(i, ir.ConstInt(ir.I64, 1))
+	c := b.ICmp(ir.PredLT, inext, f.Params[1])
+	b.CondBr(c, loop, exit)
+	ir.AddIncoming(i, ir.ConstInt(ir.I64, 0), left)
+	ir.AddIncoming(i, ir.ConstInt(ir.I64, 5), right)
+	ir.AddIncoming(i, inext, loop)
+
+	b.SetBlock(exit)
+	b.RetVoid()
+
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("precondition: %v", err)
+	}
+	li := ComputeLoopInfo(f)
+	l := li.TopLevel[0]
+	if l.Preheader() != nil {
+		t.Fatal("loop unexpectedly already has a preheader")
+	}
+	ph, err := InsertPreheader(f, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("after preheader insertion: %v\n%s", err, ir.PrintFunc(f))
+	}
+	// Recompute and confirm canonical form.
+	li = ComputeLoopInfo(f)
+	if got := li.TopLevel[0].Preheader(); got != ph {
+		t.Error("preheader not in place after insertion")
+	}
+	// The merge phi must live in the preheader.
+	if len(ph.Phis()) != 1 {
+		t.Errorf("preheader has %d phis, want 1 merge phi", len(ph.Phis()))
+	}
+}
+
+func TestLoopRegionAcceptsCanonical(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildSum(m)
+	li := ComputeLoopInfo(f)
+	r, err := LoopRegion(f, li.TopLevel[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Entry.BName != "loop" || r.Exit.BName != "exit" || r.Before.BName != "entry" {
+		t.Errorf("region shape wrong: entry=%s exit=%s before=%s",
+			r.Entry.BName, r.Exit.BName, r.Before.BName)
+	}
+}
+
+func TestLoopRegionRejectsTwoExits(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Void, ir.NewParam("n", ir.I64), ir.NewParam("c", ir.I1))
+	b := ir.NewBuilder(f)
+	entry := b.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	exit1 := f.NewBlock("exit1")
+	exit2 := f.NewBlock("exit2")
+
+	b.SetBlock(entry)
+	b.Br(loop)
+	b.SetBlock(loop)
+	i := b.Phi(ir.I64)
+	b.CondBr(f.Params[1], body, exit1) // early exit
+	b.SetBlock(body)
+	inext := b.Add(i, ir.ConstInt(ir.I64, 1))
+	c := b.ICmp(ir.PredLT, inext, f.Params[0])
+	b.CondBr(c, loop, exit2)
+	ir.AddIncoming(i, ir.ConstInt(ir.I64, 0), entry)
+	ir.AddIncoming(i, inext, body)
+	b.SetBlock(exit1)
+	b.RetVoid()
+	b.SetBlock(exit2)
+	b.RetVoid()
+
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	li := ComputeLoopInfo(f)
+	if _, err := LoopRegion(f, li.TopLevel[0]); err == nil {
+		t.Error("two-exit loop accepted as SESE region")
+	}
+}
+
+func TestExtractRegionSumLoop(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildSum(m)
+	li := ComputeLoopInfo(f)
+	r, err := LoopRegion(f, li.TopLevel[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractRegion(f, r, "sum_loop0_outlined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("post-extraction module invalid: %v\n%s", err, ir.Print(m))
+	}
+	if res.Outlined.RetTy != ir.F32 {
+		t.Errorf("outlined return type %s, want f32 (the reduction live-out)", res.Outlined.RetTy)
+	}
+	if len(res.LiveIns) != 2 {
+		t.Errorf("live-ins = %d, want 2 (a, n)", len(res.LiveIns))
+	}
+	// The caller must now contain exactly one call to the outlined fn
+	// and no loop.
+	callerLoops := ComputeLoopInfo(f)
+	if len(callerLoops.TopLevel) != 0 {
+		t.Error("caller still contains a loop after extraction")
+	}
+	calls := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Callee == res.Outlined {
+				calls++
+			}
+		}
+	}
+	if calls != 1 {
+		t.Errorf("caller has %d calls to the outlined function, want 1", calls)
+	}
+}
+
+func TestCloneFunction(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildSum(m)
+	nf, vmap := CloneFunction(f, "sum_clone")
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("module with clone invalid: %v", err)
+	}
+	if nf.FName != "sum_clone" || len(nf.Blocks) != len(f.Blocks) {
+		t.Error("clone shape wrong")
+	}
+	// Structural equality modulo the name.
+	a := strings.Replace(ir.PrintFunc(f), "@sum", "@X", 1)
+	bb := strings.Replace(ir.PrintFunc(nf), "@sum_clone", "@X", 1)
+	if a != bb {
+		t.Errorf("clone differs from original:\n%s\n---\n%s", a, bb)
+	}
+	// The map must cover every original instruction.
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Ty != ir.Void {
+				if _, ok := vmap[in]; !ok {
+					t.Errorf("clone map missing %%%s", in.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestInstrumentModule(t *testing.T) {
+	m := ir.NewModule("t")
+	buildSum(m)
+	results, err := InstrumentModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("instrumented %d loops, want 1", len(results))
+	}
+	res := results[0]
+	if res.Outlined == nil || res.Instrumented == nil {
+		t.Fatal("missing artifacts")
+	}
+	// The instrumented clone takes the extra handle parameter.
+	if len(res.Instrumented.Params) != len(res.Outlined.Params)+1 {
+		t.Error("instrumented clone missing the handle parameter")
+	}
+	// Loop metadata registered with source info.
+	meta, ok := m.LoopMetaByID(res.LoopID)
+	if !ok || meta.FuncName != "sum" || meta.File != "sum.c" {
+		t.Errorf("loop meta wrong: %+v", meta)
+	}
+	// The instrumented body must call mperf.count with nonzero cost.
+	foundCount := false
+	for _, b := range res.Instrumented.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Callee.FName == IntrinsicCount {
+				foundCount = true
+			}
+		}
+	}
+	if !foundCount {
+		t.Error("instrumented clone has no counting calls")
+	}
+	// The caller must dispatch through the runtime flag.
+	caller := m.FuncByName("sum")
+	text := ir.PrintFunc(caller)
+	for _, want := range []string{IntrinsicLoopBegin, IntrinsicIsInstrumented, IntrinsicLoopEnd,
+		"sum_loop0_outlined", "sum_loop0_instrumented"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("caller missing %s:\n%s", want, text)
+		}
+	}
+}
+
+func TestCostOfBlock(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Void, ir.NewParam("p", ir.Ptr))
+	b := ir.NewBuilder(f)
+	b.NewBlock("entry")
+	v := b.Load(ir.F32, f.Params[0])                             // 4 bytes loaded
+	w := b.FMA(v, v, v)                                          // 2 flops
+	x := b.FAdd(w, v)                                            // 1 flop
+	vec := b.Splat(x, 8)                                         // 0
+	vv := b.FMul(vec, vec)                                       // 8 flops
+	red := b.Reduce(vv)                                          // 7 flops
+	b.Store(red, f.Params[0])                                    // 4 bytes stored
+	idx := b.Add(ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 2)) // 1 intop
+	p := b.GEP(f.Params[0], idx, 4)                              // 1 intop
+	_ = p
+	b.RetVoid()
+
+	c := CostOfBlock(f.Blocks[0])
+	if c.BytesLoaded != 4 || c.BytesStored != 4 {
+		t.Errorf("bytes: loaded %d stored %d, want 4/4", c.BytesLoaded, c.BytesStored)
+	}
+	if c.FPOps != 18 {
+		t.Errorf("fp ops = %d, want 18", c.FPOps)
+	}
+	if c.IntOps != 2 {
+		t.Errorf("int ops = %d, want 2", c.IntOps)
+	}
+}
+
+func TestVectorizeAxpyConservative(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildAxpy(m)
+	headers := VectorizeFunction(f, VecConservative, 8)
+	if len(headers) != 1 {
+		t.Fatalf("conservative profile did not vectorize axpy: %v\n%s", headers, ir.PrintFunc(f))
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("vectorized axpy invalid: %v\n%s", err, ir.PrintFunc(f))
+	}
+	// Loads/stores must now be vector typed; the FMA too.
+	text := ir.PrintFunc(f)
+	if !strings.Contains(text, "load f32x8") {
+		t.Errorf("no vector load:\n%s", text)
+	}
+	if !strings.Contains(text, "store f32x8") {
+		t.Errorf("no vector store:\n%s", text)
+	}
+	if !strings.Contains(text, "fma f32x8") {
+		t.Errorf("no vector fma:\n%s", text)
+	}
+	// The uniform scalar a must be splat.
+	if !strings.Contains(text, "splat f32x8") {
+		t.Errorf("uniform operand not broadcast:\n%s", text)
+	}
+}
+
+func TestVectorizeSumDeclinedConservative(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildSum(m)
+	if headers := VectorizeFunction(f, VecConservative, 8); len(headers) != 0 {
+		t.Errorf("conservative profile vectorized a reduction: %v", headers)
+	}
+}
+
+func TestVectorizeSumAggressive(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildSum(m)
+	headers := VectorizeFunction(f, VecAggressive, 8)
+	if len(headers) != 1 {
+		t.Fatalf("aggressive profile did not vectorize the reduction: %v\n%s",
+			headers, ir.PrintFunc(f))
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("vectorized sum invalid: %v\n%s", err, ir.PrintFunc(f))
+	}
+	text := ir.PrintFunc(f)
+	// The zero-seeded accumulator widens and a horizontal reduce feeds
+	// the return in the exit block.
+	if !strings.Contains(text, "phi f32x8") {
+		t.Errorf("accumulator not widened:\n%s", text)
+	}
+	if !strings.Contains(text, "reduce f32") {
+		t.Errorf("missing reduction epilogue:\n%s", text)
+	}
+}
+
+func TestVectorizeNestAggressive(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildNest(m)
+	headers := VectorizeFunction(f, VecAggressive, 8)
+	if len(headers) != 1 || headers[0] != "jloop" {
+		t.Fatalf("aggressive profile should outer-vectorize jloop, got %v\n%s",
+			headers, ir.PrintFunc(f))
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("vectorized nest invalid: %v\n%s", err, ir.PrintFunc(f))
+	}
+	text := ir.PrintFunc(f)
+	// B load and C load/store widen; A load stays scalar and is splat.
+	if strings.Count(text, "load f32x8") != 2 {
+		t.Errorf("expected 2 vector loads (B, C):\n%s", text)
+	}
+	if !strings.Contains(text, "store f32x8") {
+		t.Errorf("expected vector store of C:\n%s", text)
+	}
+	if !strings.Contains(text, "splat f32x8") {
+		t.Errorf("expected broadcast of the A element:\n%s", text)
+	}
+	if !strings.Contains(text, "phi f32x8") {
+		t.Errorf("expected widened accumulator phi:\n%s", text)
+	}
+}
+
+func TestVectorizeNestConservativeStaysScalar(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildNest(m)
+	// Conservative only looks at the innermost (k) loop, whose B access
+	// is strided by n — it must decline, reproducing the immature-RVV
+	// behaviour from §5.2.
+	if headers := VectorizeFunction(f, VecConservative, 8); len(headers) != 0 {
+		t.Errorf("conservative profile vectorized the nest: %v", headers)
+	}
+}
+
+func TestVectorizeRequiresTripHint(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildAxpy(m)
+	delete(f.Hints, "trip_multiple.loop")
+	if headers := VectorizeFunction(f, VecConservative, 8); len(headers) != 0 {
+		t.Error("vectorized without a trip-count hint")
+	}
+}
+
+func TestUnrollReduction(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildSum(m)
+	li := ComputeLoopInfo(f)
+	if err := UnrollReduction(f, li.TopLevel[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		t.Fatalf("unrolled sum invalid: %v\n%s", err, ir.PrintFunc(f))
+	}
+	text := ir.PrintFunc(f)
+	// Two accumulator chains now: two fadd of loaded values, plus the
+	// final combine in the exit block.
+	if got := strings.Count(text, "fadd f32"); got != 3 {
+		t.Errorf("fadd count = %d, want 3 (two chains + combine):\n%s", got, text)
+	}
+	if !strings.Contains(text, ", 2") {
+		t.Errorf("IV step not doubled:\n%s", text)
+	}
+	// The loop must still verify as a loop with one latch.
+	li = ComputeLoopInfo(f)
+	if len(li.TopLevel) != 1 {
+		t.Error("loop structure destroyed")
+	}
+}
+
+func TestUnrollReductionDeclinesOddTrip(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildSum(m)
+	f.SetHint("trip_multiple.loop", 3)
+	li := ComputeLoopInfo(f)
+	if err := UnrollReduction(f, li.TopLevel[0], 2); err == nil {
+		t.Error("odd trip multiple accepted")
+	}
+}
+
+func TestRunPipelineEndToEnd(t *testing.T) {
+	m := ir.NewModule("t")
+	buildSum(m)
+	buildAxpy(m)
+	res, err := RunPipeline(m, PipelineOptions{
+		Profile:    VecConservative,
+		Lanes:      8,
+		Interleave: true,
+		Instrument: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("pipelined module invalid: %v", err)
+	}
+	if len(res.VectorizedLoops["axpy"]) != 1 {
+		t.Error("axpy not vectorized")
+	}
+	if res.InterleavedLoops["sum"] != 1 {
+		t.Error("sum reduction not interleaved")
+	}
+	if len(res.Instrumented) != 2 {
+		t.Errorf("instrumented %d loops, want 2", len(res.Instrumented))
+	}
+	if len(m.Loops) != 2 {
+		t.Errorf("loop registry has %d entries, want 2", len(m.Loops))
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for name, want := range map[string]VectorizeProfile{
+		"none": VecNone, "conservative": VecConservative, "aggressive": VecAggressive,
+	} {
+		got, err := ProfileByName(name)
+		if err != nil || got != want {
+			t.Errorf("ProfileByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ProfileByName("bogus"); err == nil {
+		t.Error("bogus profile accepted")
+	}
+}
+
+func TestStrideAnalysis(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildNest(m)
+	li := ComputeLoopInfo(f)
+	j := li.TopLevel[0]
+	jiv, err := FindCanonicalIV(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the three loads and check their strides w.r.t. j.
+	var strides []int64
+	for _, b := range j.BlockList() {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLoad {
+				s, ok := stride(in.Args[0], jiv.Phi, j)
+				if !ok {
+					t.Fatalf("load in %s not affine", b.BName)
+				}
+				strides = append(strides, s)
+			}
+		}
+	}
+	// C load (stride 4), A load (stride 0), B load (stride 4) — order
+	// follows block order: kpre (C), kloop (A, B).
+	want := []int64{4, 0, 4}
+	if len(strides) != 3 {
+		t.Fatalf("found %d loads, want 3", len(strides))
+	}
+	for i := range want {
+		if strides[i] != want[i] {
+			t.Errorf("load %d stride = %d, want %d", i, strides[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package passes
+
+import (
+	"strings"
+
+	"mperf/internal/ir"
+)
+
+// PipelineOptions configures the optimization + instrumentation
+// pipeline applied to a module before execution, standing in for the
+// clang -O3 pipeline with the paper's plugin appended at the end
+// (§4.4: "we address this by applying our pass late in the
+// optimization pipeline").
+type PipelineOptions struct {
+	// Profile selects vectorizer maturity (per target backend).
+	Profile VectorizeProfile
+	// Lanes is the target's vector width in f32 lanes.
+	Lanes int
+	// Interleave runs reduction interleaving on loops the vectorizer
+	// left scalar (what clang does for reductions regardless of
+	// vectorization).
+	Interleave bool
+	// NoStrengthReduce disables loop strength reduction + DCE (on by
+	// default, as in any -O2/-O3 pipeline; the ablation benches use
+	// this switch to quantify its effect).
+	NoStrengthReduce bool
+	// Instrument appends the Roofline instrumentation pass.
+	Instrument bool
+}
+
+// PipelineResult summarizes what the pipeline did.
+type PipelineResult struct {
+	// VectorizedLoops maps function name to the vectorized loop headers.
+	VectorizedLoops map[string][]string
+	// InterleavedLoops counts reduction-interleaved loops per function.
+	InterleavedLoops map[string]int
+	// StrengthReduced counts LSR-rewritten accesses per function.
+	StrengthReduced map[string]int
+	// DeadRemoved counts DCE-removed instructions per function.
+	DeadRemoved map[string]int
+	// Instrumented lists the per-loop instrumentation artifacts.
+	Instrumented []InstrumentResult
+}
+
+// RunPipeline applies the configured passes to the module in place and
+// verifies the result.
+func RunPipeline(m *ir.Module, opt PipelineOptions) (*PipelineResult, error) {
+	res := &PipelineResult{
+		VectorizedLoops:  make(map[string][]string),
+		InterleavedLoops: make(map[string]int),
+		StrengthReduced:  make(map[string]int),
+		DeadRemoved:      make(map[string]int),
+	}
+	funcs := append([]*ir.Func(nil), m.Funcs...)
+	for _, f := range funcs {
+		if len(f.Blocks) == 0 || IsIntrinsicName(f.FName) {
+			continue
+		}
+		if headers := VectorizeFunction(f, opt.Profile, opt.Lanes); len(headers) > 0 {
+			res.VectorizedLoops[f.FName] = headers
+		}
+		if opt.Interleave {
+			if n := UnrollReductions(f); n > 0 {
+				res.InterleavedLoops[f.FName] = n
+			}
+		}
+		if !opt.NoStrengthReduce {
+			if n := StrengthReduce(f); n > 0 {
+				res.StrengthReduced[f.FName] = n
+			}
+			if n := EliminateDeadCode(f); n > 0 {
+				res.DeadRemoved[f.FName] = n
+			}
+			ScheduleBlocks(f)
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	if opt.Instrument {
+		inst, err := InstrumentModule(m)
+		if err != nil {
+			return nil, err
+		}
+		res.Instrumented = inst
+	}
+	return res, nil
+}
+
+// IsGeneratedName reports whether a function was produced by the
+// instrumentation pass (outlined or instrumented clone).
+func IsGeneratedName(name string) bool {
+	return strings.Contains(name, "_outlined") || strings.Contains(name, "_instrumented")
+}

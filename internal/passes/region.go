@@ -1,0 +1,68 @@
+package passes
+
+import (
+	"fmt"
+
+	"mperf/internal/ir"
+)
+
+// Region is a single-entry single-exit (SESE) subgraph of the CFG, the
+// shape the paper's RegionInfoAnalysis step requires before extraction
+// (§4.2 step 2). Entry is the unique block through which control
+// enters (the loop preheader's successor, i.e. the header); Exit is
+// the unique block control continues to after the region.
+type Region struct {
+	Blocks map[*ir.Block]bool
+	Entry  *ir.Block // first block inside the region
+	Before *ir.Block // the block branching into the region (preheader)
+	Exit   *ir.Block // the block after the region (not part of it)
+}
+
+// LoopRegion checks that a loop forms a SESE region and describes it.
+// The requirements mirror what CodeExtractor needs:
+//   - a dedicated preheader (single entry edge),
+//   - a unique exit block, reached by exactly one exit edge,
+//   - no phis in the exit block with multiple incomings (the exit
+//     collapses to a single predecessor after extraction).
+func LoopRegion(f *ir.Func, l *Loop) (*Region, error) {
+	ph := l.Preheader()
+	if ph == nil {
+		return nil, fmt.Errorf("passes: loop at %s has no dedicated preheader", l.Header.BName)
+	}
+	exits := l.ExitEdges()
+	if len(exits) != 1 {
+		return nil, fmt.Errorf("passes: loop at %s has %d exit edges, need exactly 1",
+			l.Header.BName, len(exits))
+	}
+	exit := exits[0][1]
+	// Every predecessor of the exit must be inside the region (single
+	// exit edge already implies exactly one such pred).
+	preds := ir.Preds(f)
+	for _, p := range preds[exit] {
+		if !l.Blocks[p] {
+			return nil, fmt.Errorf("passes: exit block %s of loop at %s is shared with outside control flow",
+				exit.BName, l.Header.BName)
+		}
+	}
+	for _, phi := range exit.Phis() {
+		if len(phi.Args) > 1 {
+			return nil, fmt.Errorf("passes: exit block %s has a multi-incoming phi", exit.BName)
+		}
+	}
+	blocks := make(map[*ir.Block]bool, len(l.Blocks))
+	for b := range l.Blocks {
+		blocks[b] = true
+	}
+	return &Region{Blocks: blocks, Entry: l.Header, Before: ph, Exit: exit}, nil
+}
+
+// BlockList returns the region's blocks in function order, entry first.
+func (r *Region) BlockList(f *ir.Func) []*ir.Block {
+	out := []*ir.Block{r.Entry}
+	for _, b := range f.Blocks {
+		if r.Blocks[b] && b != r.Entry {
+			out = append(out, b)
+		}
+	}
+	return out
+}

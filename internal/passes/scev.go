@@ -1,0 +1,132 @@
+package passes
+
+import "mperf/internal/ir"
+
+// This file holds the small scalar-evolution analysis the vectorizer
+// needs: per-lane variance classification and affine stride derivation
+// with respect to a loop's induction variable.
+
+// varianceInfo classifies loop values as uniform (same in every vector
+// lane) or varying (depends on the vectorized IV).
+type varianceInfo struct {
+	loop *Loop
+	iv   *ir.Instr
+	vary map[*ir.Instr]bool
+}
+
+// computeVariance runs a fixpoint dataflow over the loop body: a value
+// varies if it is the IV or any operand varies. Loads vary when their
+// address varies (different lanes read different locations). Values
+// defined outside the loop are uniform by construction.
+func computeVariance(l *Loop, iv *ir.Instr) *varianceInfo {
+	vi := &varianceInfo{loop: l, iv: iv, vary: make(map[*ir.Instr]bool)}
+	vi.vary[iv] = true
+	for changed := true; changed; {
+		changed = false
+		for _, b := range l.BlockList() {
+			for _, in := range b.Instrs {
+				if vi.vary[in] {
+					continue
+				}
+				for _, a := range in.Args {
+					ai, ok := a.(*ir.Instr)
+					if ok && vi.vary[ai] {
+						vi.vary[in] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return vi
+}
+
+// varies reports whether the value differs across vector lanes.
+func (vi *varianceInfo) varies(v ir.Value) bool {
+	in, ok := v.(*ir.Instr)
+	return ok && vi.vary[in]
+}
+
+// stride computes d(v)/d(iv) — how many units v advances when the IV
+// advances by one — as a compile-time constant. For pointer values the
+// unit is bytes (GEP scales fold in). Returns ok=false when v is not
+// affine in the IV.
+//
+// Nested-loop phis get stride 0: for a fixed outer-IV lane they take
+// the same value sequence in every lane, which is exactly the lockstep
+// condition outer-loop vectorization needs (their own incomings are
+// checked separately by the legality pass).
+func stride(v ir.Value, iv *ir.Instr, l *Loop) (int64, bool) {
+	switch x := v.(type) {
+	case *ir.Const:
+		return 0, true
+	case *ir.Param, *ir.Global:
+		return 0, true
+	case *ir.Instr:
+		if x == iv {
+			return 1, true
+		}
+		if !l.Contains(x.Block()) {
+			return 0, true // loop-invariant
+		}
+		switch x.Op {
+		case ir.OpPhi:
+			return 0, true // nested IV / reduction: uniform per lane step
+		case ir.OpAdd:
+			a, okA := stride(x.Args[0], iv, l)
+			b, okB := stride(x.Args[1], iv, l)
+			return a + b, okA && okB
+		case ir.OpSub:
+			a, okA := stride(x.Args[0], iv, l)
+			b, okB := stride(x.Args[1], iv, l)
+			return a - b, okA && okB
+		case ir.OpMul:
+			if c, ok := x.Args[0].(*ir.Const); ok {
+				s, okS := stride(x.Args[1], iv, l)
+				return c.Int * s, okS
+			}
+			if c, ok := x.Args[1].(*ir.Const); ok {
+				s, okS := stride(x.Args[0], iv, l)
+				return c.Int * s, okS
+			}
+			// Product of two non-constants: affine only if both are
+			// IV-invariant.
+			a, okA := stride(x.Args[0], iv, l)
+			b, okB := stride(x.Args[1], iv, l)
+			if okA && okB && a == 0 && b == 0 {
+				return 0, true
+			}
+			return 0, false
+		case ir.OpShl:
+			if c, ok := x.Args[1].(*ir.Const); ok {
+				s, okS := stride(x.Args[0], iv, l)
+				return s << uint(c.Int), okS
+			}
+			return 0, false
+		case ir.OpGEP:
+			base, okB := stride(x.Args[0], iv, l)
+			idx, okI := stride(x.Args[1], iv, l)
+			return base + idx*x.Scale, okB && okI
+		case ir.OpSExt, ir.OpZExt, ir.OpTrunc:
+			return stride(x.Args[0], iv, l)
+		case ir.OpLoad:
+			// A load is affine only if uniform (stride-0 address).
+			s, ok := stride(x.Args[0], iv, l)
+			if ok && s == 0 {
+				return 0, true
+			}
+			return 0, false
+		default:
+			// Anything else: affine only when IV-invariant.
+			for _, a := range x.Args {
+				s, ok := stride(a, iv, l)
+				if !ok || s != 0 {
+					return 0, false
+				}
+			}
+			return 0, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,177 @@
+package passes
+
+import (
+	"sort"
+
+	"mperf/internal/ir"
+)
+
+// ScheduleBlocks list-schedules every basic block: instructions are
+// reordered (within dependence and memory-order constraints) by
+// critical-path height, which hoists loads away from their consumers
+// and interleaves independent chains. This is the static scheduling
+// any production backend performs; without it an in-order pipeline
+// stalls on every load-use pair and the X60 matmul calibration is
+// unreachable. Returns the number of blocks whose order changed.
+//
+// Constraints preserved:
+//   - SSA defs precede uses within the block;
+//   - phis stay at the top, the terminator stays at the end;
+//   - stores and calls are scheduling barriers (no alias analysis);
+//     loads may reorder freely between barriers.
+func ScheduleBlocks(f *ir.Func) int {
+	changed := 0
+	for _, b := range f.Blocks {
+		if scheduleBlock(b) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// schedLatency is the static latency estimate used for priorities.
+func schedLatency(in *ir.Instr) int {
+	switch in.Op {
+	case ir.OpLoad:
+		return 3
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFMA, ir.OpFCmp:
+		return 4
+	case ir.OpMul:
+		return 3
+	case ir.OpSDiv, ir.OpSRem, ir.OpFDiv:
+		return 20
+	}
+	return 1
+}
+
+func isBarrier(in *ir.Instr) bool {
+	return in.Op == ir.OpStore || in.Op == ir.OpCall || in.Op == ir.OpAlloca
+}
+
+func scheduleBlock(b *ir.Block) bool {
+	// Partition: [phis][body...][terminator]; schedule barrier-free
+	// regions of the body independently.
+	nPhis := len(b.Phis())
+	if len(b.Instrs)-nPhis < 3 {
+		return false
+	}
+	term := b.Term()
+	body := b.Instrs[nPhis:]
+	if term != nil {
+		body = body[:len(body)-1]
+	}
+
+	changed := false
+	out := make([]*ir.Instr, 0, len(body))
+	region := make([]*ir.Instr, 0, len(body))
+	flush := func() {
+		if len(region) > 1 {
+			if reorderRegion(region) {
+				changed = true
+			}
+		}
+		out = append(out, region...)
+		region = region[:0]
+	}
+	for _, in := range body {
+		if isBarrier(in) {
+			flush()
+			out = append(out, in)
+			continue
+		}
+		region = append(region, in)
+	}
+	flush()
+
+	if !changed {
+		return false
+	}
+	newList := make([]*ir.Instr, 0, len(b.Instrs))
+	newList = append(newList, b.Instrs[:nPhis]...)
+	newList = append(newList, out...)
+	if term != nil {
+		newList = append(newList, term)
+	}
+	b.Instrs = newList
+	return true
+}
+
+// reorderRegion sorts a dependence region by descending critical-path
+// height with a stable topological schedule. Returns whether the order
+// changed.
+func reorderRegion(region []*ir.Instr) bool {
+	index := make(map[*ir.Instr]int, len(region))
+	for i, in := range region {
+		index[in] = i
+	}
+	// Local dependence edges: use -> def (within the region).
+	depsOf := make([][]int, len(region))
+	usersOf := make([][]int, len(region))
+	indeg := make([]int, len(region))
+	for i, in := range region {
+		for _, a := range in.Args {
+			if d, ok := a.(*ir.Instr); ok {
+				if j, local := index[d]; local {
+					depsOf[i] = append(depsOf[i], j)
+					usersOf[j] = append(usersOf[j], i)
+					indeg[i]++
+				}
+			}
+		}
+	}
+	// Heights: latency-weighted longest path to a region sink.
+	height := make([]int, len(region))
+	var computeHeight func(i int) int
+	computeHeight = func(i int) int {
+		if height[i] != 0 {
+			return height[i]
+		}
+		h := schedLatency(region[i])
+		for _, u := range usersOf[i] {
+			if hh := computeHeight(u) + schedLatency(region[i]); hh > h {
+				h = hh
+			}
+		}
+		height[i] = h
+		return h
+	}
+	for i := range region {
+		computeHeight(i)
+	}
+	// Greedy topological selection: among ready instructions pick the
+	// tallest (ties broken by original order for determinism).
+	ready := make([]int, 0, len(region))
+	for i := range region {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, len(region))
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool {
+			if height[ready[a]] != height[ready[b]] {
+				return height[ready[a]] > height[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+		pick := ready[0]
+		ready = ready[1:]
+		order = append(order, pick)
+		for _, u := range usersOf[pick] {
+			indeg[u]--
+			if indeg[u] == 0 {
+				ready = append(ready, u)
+			}
+		}
+	}
+	changed := false
+	scheduled := make([]*ir.Instr, len(region))
+	for pos, i := range order {
+		scheduled[pos] = region[i]
+		if i != pos {
+			changed = true
+		}
+	}
+	copy(region, scheduled)
+	return changed
+}

@@ -1,0 +1,459 @@
+package passes
+
+import (
+	"mperf/internal/ir"
+)
+
+// strideExpr is a symbolic derivative d(value)/d(iv): Const plus
+// SymC·Sym where Sym is a loop-invariant value. This is what lets LSR
+// handle row-major walks like B[k*n+j], whose per-k stride is the
+// runtime value n — exactly the access the matmul kernel lives on.
+type strideExpr struct {
+	Const int64
+	Sym   ir.Value // nil when the derivative is constant
+	SymC  int64
+}
+
+func (s strideExpr) isZero() bool     { return s.Const == 0 && s.SymC == 0 }
+func (s strideExpr) isConstant() bool { return s.SymC == 0 }
+
+// symStride computes the symbolic derivative of v with respect to iv,
+// or ok=false when v is not affine (or needs more than one symbolic
+// term).
+func symStride(v ir.Value, iv *ir.Instr, l *Loop) (strideExpr, bool) {
+	switch x := v.(type) {
+	case *ir.Const, *ir.Param, *ir.Global:
+		return strideExpr{}, true
+	case *ir.Instr:
+		if x == iv {
+			return strideExpr{Const: 1}, true
+		}
+		if !l.Contains(x.Block()) {
+			return strideExpr{}, true
+		}
+		switch x.Op {
+		case ir.OpPhi:
+			return strideExpr{}, true // nested IV: invariant per outer step
+		case ir.OpAdd, ir.OpSub:
+			a, okA := symStride(x.Args[0], iv, l)
+			b, okB := symStride(x.Args[1], iv, l)
+			if !okA || !okB {
+				return strideExpr{}, false
+			}
+			if x.Op == ir.OpSub {
+				b.Const, b.SymC = -b.Const, -b.SymC
+			}
+			return addStride(a, b)
+		case ir.OpMul:
+			return mulStride(x.Args[0], x.Args[1], iv, l)
+		case ir.OpShl:
+			if c, ok := x.Args[1].(*ir.Const); ok {
+				s, okS := symStride(x.Args[0], iv, l)
+				if !okS {
+					return strideExpr{}, false
+				}
+				s.Const <<= uint(c.Int)
+				s.SymC <<= uint(c.Int)
+				return s, true
+			}
+			return strideExpr{}, false
+		case ir.OpGEP:
+			base, okB := symStride(x.Args[0], iv, l)
+			idx, okI := symStride(x.Args[1], iv, l)
+			if !okB || !okI {
+				return strideExpr{}, false
+			}
+			idx.Const *= x.Scale
+			idx.SymC *= x.Scale
+			return addStride(base, idx)
+		case ir.OpSExt, ir.OpZExt, ir.OpTrunc:
+			return symStride(x.Args[0], iv, l)
+		default:
+			s, ok := stride(v, iv, l)
+			return strideExpr{Const: s}, ok && s == 0
+		}
+	}
+	return strideExpr{}, false
+}
+
+func addStride(a, b strideExpr) (strideExpr, bool) {
+	out := strideExpr{Const: a.Const + b.Const}
+	switch {
+	case a.Sym == nil:
+		out.Sym, out.SymC = b.Sym, b.SymC
+	case b.Sym == nil:
+		out.Sym, out.SymC = a.Sym, a.SymC
+	case a.Sym == b.Sym:
+		out.Sym, out.SymC = a.Sym, a.SymC+b.SymC
+	default:
+		return strideExpr{}, false // two distinct symbolic terms
+	}
+	return out, true
+}
+
+// mulStride handles products: one side must be IV-invariant; if the
+// other side's derivative is a pure constant, the result's symbolic
+// part is the invariant side.
+func mulStride(x, y ir.Value, iv *ir.Instr, l *Loop) (strideExpr, bool) {
+	sx, okX := symStride(x, iv, l)
+	sy, okY := symStride(y, iv, l)
+	if !okX || !okY {
+		return strideExpr{}, false
+	}
+	switch {
+	case sx.isZero() && sy.isZero():
+		return strideExpr{}, true
+	case sy.isZero() && sx.isConstant():
+		// d(x·y) = y·dx, with y invariant.
+		if c, ok := y.(*ir.Const); ok {
+			return strideExpr{Const: sx.Const * c.Int}, true
+		}
+		if sx.Const == 0 {
+			return strideExpr{}, true
+		}
+		if !definedOutside(y, l) {
+			return strideExpr{}, false
+		}
+		return strideExpr{Sym: y, SymC: sx.Const}, true
+	case sx.isZero() && sy.isConstant():
+		if c, ok := x.(*ir.Const); ok {
+			return strideExpr{Const: sy.Const * c.Int}, true
+		}
+		if sy.Const == 0 {
+			return strideExpr{}, true
+		}
+		if !definedOutside(x, l) {
+			return strideExpr{}, false
+		}
+		return strideExpr{Sym: x, SymC: sy.Const}, true
+	}
+	return strideExpr{}, false
+}
+
+// definedOutside reports whether v's definition is loop-invariant by
+// position: constants, params, globals, or instructions outside l.
+// Only such values may appear in a pointer bump.
+func definedOutside(v ir.Value, l *Loop) bool {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return true
+	}
+	return !l.Contains(in.Block())
+}
+
+// StrengthReduceLoop rewrites affine address computations inside a
+// loop into incremented pointer recurrences (classic loop strength
+// reduction, clang/LLVM's LSR): an address a(iv) = base + iv·s + c
+// becomes a pointer phi seeded with a(init) in the preheader and
+// advanced by s·step in the body. Together with DCE this removes the
+// per-iteration multiply/add/gep chains — the difference between
+// naive and production-quality codegen that the matmul calibration
+// depends on.
+//
+// Only loads and stores whose address is affine in the loop's
+// canonical IV (and whose computation chain lives inside the loop) are
+// rewritten. The pass is conservative: anything it cannot prove, it
+// leaves alone.
+func StrengthReduceLoop(f *ir.Func, l *Loop) int {
+	iv, err := FindCanonicalIV(l)
+	if err != nil {
+		return 0
+	}
+	ph := l.Preheader()
+	if ph == nil {
+		return 0
+	}
+	latches := l.Latches()
+	if len(latches) != 1 {
+		return 0
+	}
+	latch := latches[0]
+
+	// First collect the candidates, then rewrite: the rewrites insert
+	// phis and bumps into blocks that may be mid-iteration otherwise.
+	type candidate struct {
+		in      *ir.Instr
+		addrIdx int
+		addr    *ir.Instr
+		stride  strideExpr
+		terms   map[ir.Value]int64
+		c       int64
+	}
+	var cands []candidate
+	for _, b := range l.BlockList() {
+		for _, in := range b.Instrs {
+			var addrIdx int
+			switch in.Op {
+			case ir.OpLoad:
+				addrIdx = 0
+			case ir.OpStore:
+				addrIdx = 1
+			default:
+				continue
+			}
+			if in.Scale != 0 {
+				continue // already carries a displacement
+			}
+			addr, ok := in.Args[addrIdx].(*ir.Instr)
+			if !ok || addr.Op != ir.OpGEP || !l.Contains(addr.Block()) {
+				continue
+			}
+			s, affine := symStride(addr, iv.Phi, l)
+			if !affine || s.isZero() {
+				continue
+			}
+			terms, c, okL := linearize(addr, l)
+			if !okL {
+				continue
+			}
+			cands = append(cands, candidate{in: in, addrIdx: addrIdx, addr: addr,
+				stride: s, terms: terms, c: c})
+		}
+	}
+
+	// Coalesce candidates whose addresses differ only by a constant:
+	// they share one pointer recurrence, with the deltas folded into
+	// base+displacement addressing (how production LSR keeps one
+	// pointer per access stream).
+	var groups [][]int
+	for i := range cands {
+		placed := false
+		for g := range groups {
+			if equalTerms(cands[groups[g][0]].terms, cands[i].terms) {
+				groups[g] = append(groups[g], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{i})
+		}
+	}
+
+	preds := ir.Preds(f)[l.Header]
+	rewritten := 0
+	for _, g := range groups {
+		rep := &cands[g[0]]
+		// The address chain must be computable at the preheader with iv
+		// replaced by its init value.
+		init, ok := materializeAt(f, ph, rep.addr, iv.Phi, iv.Init, l)
+		if !ok {
+			continue
+		}
+		// Pointer recurrence: phi in the header, bump(s) in the latch.
+		pphi := &ir.Instr{Op: ir.OpPhi, Ty: ir.Ptr}
+		pphi.SetName(f.UniqueValueName("lsr"))
+		insertAt(l.Header, len(l.Header.Phis()), pphi)
+		var bump ir.Value = pphi
+		if rep.stride.SymC != 0 {
+			gp := &ir.Instr{Op: ir.OpGEP, Ty: ir.Ptr,
+				Args:  []ir.Value{bump, rep.stride.Sym},
+				Scale: rep.stride.SymC * iv.StepBy}
+			gp.SetName(f.UniqueValueName("lsr.next"))
+			insertBeforeTerm(latch, gp)
+			bump = gp
+		}
+		if rep.stride.Const != 0 || bump == pphi {
+			gp := &ir.Instr{Op: ir.OpGEP, Ty: ir.Ptr,
+				Args:  []ir.Value{bump, ir.ConstInt(ir.I64, iv.StepBy)},
+				Scale: rep.stride.Const}
+			gp.SetName(f.UniqueValueName("lsr.next"))
+			insertBeforeTerm(latch, gp)
+			bump = gp
+		}
+		for _, pred := range preds {
+			if l.Blocks[pred] {
+				ir.AddIncoming(pphi, bump, pred)
+			} else {
+				ir.AddIncoming(pphi, init, pred)
+			}
+		}
+		for _, ci := range g {
+			m := &cands[ci]
+			m.in.Args[m.addrIdx] = pphi
+			m.in.Scale = m.c - rep.c
+			rewritten++
+		}
+	}
+	return rewritten
+}
+
+// linearize decomposes an address expression into a sum of atomic
+// terms with integer coefficients plus a constant. Atoms are values
+// the decomposition does not look through (params, globals, phis,
+// loads, non-affine products). Two addresses with equal term maps
+// differ by a compile-time constant.
+func linearize(v ir.Value, l *Loop) (map[ir.Value]int64, int64, bool) {
+	terms := map[ir.Value]int64{}
+	var c int64
+	var walk func(v ir.Value, coeff int64) bool
+	walk = func(v ir.Value, coeff int64) bool {
+		switch x := v.(type) {
+		case *ir.Const:
+			if !x.Ty.IsInteger() {
+				return false
+			}
+			c += coeff * x.Int
+			return true
+		case *ir.Instr:
+			if l.Contains(x.Block()) {
+				switch x.Op {
+				case ir.OpAdd:
+					return walk(x.Args[0], coeff) && walk(x.Args[1], coeff)
+				case ir.OpSub:
+					return walk(x.Args[0], coeff) && walk(x.Args[1], -coeff)
+				case ir.OpMul:
+					if cst, ok := x.Args[0].(*ir.Const); ok {
+						return walk(x.Args[1], coeff*cst.Int)
+					}
+					if cst, ok := x.Args[1].(*ir.Const); ok {
+						return walk(x.Args[0], coeff*cst.Int)
+					}
+				case ir.OpShl:
+					if cst, ok := x.Args[1].(*ir.Const); ok {
+						return walk(x.Args[0], coeff<<uint(cst.Int))
+					}
+				case ir.OpGEP:
+					return walk(x.Args[0], coeff) && walk(x.Args[1], coeff*x.Scale)
+				case ir.OpZExt, ir.OpSExt:
+					return walk(x.Args[0], coeff)
+				}
+			}
+		}
+		terms[v] += coeff
+		if terms[v] == 0 {
+			delete(terms, v)
+		}
+		return true
+	}
+	if !walk(v, 1) {
+		return nil, 0, false
+	}
+	return terms, c, true
+}
+
+func equalTerms(a, b map[ir.Value]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// materializeAt clones the affine address chain of addr into the end
+// of block ph, substituting subst for iv. Values defined outside the
+// loop are used as-is. Returns false when the chain contains anything
+// but the affine operators the stride analysis understands.
+func materializeAt(f *ir.Func, ph *ir.Block, addr *ir.Instr, iv *ir.Instr,
+	subst ir.Value, l *Loop) (ir.Value, bool) {
+
+	var build func(v ir.Value) (ir.Value, bool)
+	memo := map[ir.Value]ir.Value{}
+	build = func(v ir.Value) (ir.Value, bool) {
+		if out, ok := memo[v]; ok {
+			return out, true
+		}
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			return v, true // const, param, global
+		}
+		if in == iv {
+			return subst, true
+		}
+		if !l.Contains(in.Block()) {
+			return in, true // loop-invariant definition
+		}
+		switch in.Op {
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpShl, ir.OpGEP, ir.OpSExt, ir.OpZExt, ir.OpTrunc:
+			args := make([]ir.Value, len(in.Args))
+			for i, a := range in.Args {
+				na, ok := build(a)
+				if !ok {
+					return nil, false
+				}
+				args[i] = na
+			}
+			c := &ir.Instr{Op: in.Op, Ty: in.Ty, Args: args, Scale: in.Scale}
+			c.SetName(f.UniqueValueName("lsr.init"))
+			insertBeforeTerm(ph, c)
+			memo[v] = c
+			return c, true
+		default:
+			// A phi (nested IV) or anything non-affine: the address is
+			// not materializable at the preheader.
+			return nil, false
+		}
+	}
+	return build(addr)
+}
+
+// StrengthReduce applies LSR to every loop of the function,
+// innermost first, and returns the number of rewritten accesses.
+func StrengthReduce(f *ir.Func) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	n := 0
+	li := ComputeLoopInfo(f)
+	for _, l := range li.InnermostFirst() {
+		n += StrengthReduceLoop(f, l)
+	}
+	return n
+}
+
+// EliminateDeadCode removes value-producing instructions without uses
+// and without side effects, iterating to a fixpoint. It is the cleanup
+// pass that makes LSR's rewrites actually cheaper instead of leaving
+// the dead multiply/add chains in the instruction stream.
+func EliminateDeadCode(f *ir.Func) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	removedTotal := 0
+	for {
+		used := map[ir.Value]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					used[a] = true
+				}
+			}
+		}
+		removed := 0
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if isRemovableDead(in, used) {
+					removed++
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		removedTotal += removed
+		if removed == 0 {
+			return removedTotal
+		}
+	}
+}
+
+func isRemovableDead(in *ir.Instr, used map[ir.Value]bool) bool {
+	if used[in] || in.Ty == ir.Void {
+		return false
+	}
+	switch in.Op {
+	case ir.OpLoad, ir.OpCall, ir.OpAlloca, ir.OpPhi:
+		// Loads may fault, calls have effects, allocas pin stack
+		// layout, and dead phis are left for readability of the CFG.
+		// (Dead loads in this IR cannot fault on valid programs, but
+		// removing them would change the measured memory traffic that
+		// instrumentation is meant to observe.)
+		return in.Op == ir.OpPhi && !used[in]
+	}
+	return !in.Op.IsTerminator()
+}

@@ -1,0 +1,222 @@
+package passes
+
+import (
+	"fmt"
+
+	"mperf/internal/ir"
+)
+
+// UnrollReduction interleaves a single-block floating-point reduction
+// loop by the given factor: `factor` independent accumulator chains
+// divide the loop-carried FP dependency latency, which is the
+// optimization that lets in-order cores approach the ~1.6 GFLOP/s the
+// paper measures on the X60 instead of being fully serialized on FMA
+// latency. This is the scalar analogue of clang's loop interleaving
+// when vectorization is declined.
+//
+// Requirements: single-block loop (header == latch), canonical IV with
+// step 1, trip count hinted as a multiple of the factor, exactly one
+// FP reduction phi updated by fadd or fma, and no other loop-carried
+// phi.
+func UnrollReduction(f *ir.Func, l *Loop, factor int) error {
+	if factor < 2 {
+		return fmt.Errorf("passes: unroll factor %d < 2", factor)
+	}
+	body := l.Header
+	if len(l.Blocks) != 1 {
+		return fmt.Errorf("passes: reduction unroll needs a single-block loop")
+	}
+	iv, err := FindCanonicalIV(l)
+	if err != nil {
+		return err
+	}
+	if iv.StepBy != 1 {
+		return fmt.Errorf("passes: loop step %d, need 1", iv.StepBy)
+	}
+	if iv.Cond == nil {
+		return fmt.Errorf("passes: no controlling comparison")
+	}
+	mult, ok := f.Hint("trip_multiple." + body.BName)
+	if !ok || mult%int64(factor) != 0 {
+		return fmt.Errorf("passes: trip count of %s not known to divide %d", body.BName, factor)
+	}
+
+	// Identify the reduction phi.
+	var acc *ir.Instr
+	for _, phi := range body.Phis() {
+		if phi == iv.Phi {
+			continue
+		}
+		if !phi.Ty.IsFloat() || phi.Ty.IsVector() {
+			return fmt.Errorf("passes: unsupported loop-carried phi %%%s", phi.Name())
+		}
+		if acc != nil {
+			return fmt.Errorf("passes: more than one reduction phi")
+		}
+		acc = phi
+	}
+	if acc == nil {
+		return fmt.Errorf("passes: no reduction phi")
+	}
+	var accNextV ir.Value
+	var latchIdx int
+	for i, blk := range acc.Blocks {
+		if blk == body {
+			accNextV = acc.Args[i]
+			latchIdx = i
+		}
+	}
+	accNext, ok := accNextV.(*ir.Instr)
+	if !ok || (accNext.Op != ir.OpFAdd && accNext.Op != ir.OpFMA) {
+		return fmt.Errorf("passes: reduction update is not fadd/fma")
+	}
+
+	// The combined value replaces outside uses of accNext; phi users in
+	// the exit would need LCSSA surgery, so decline those.
+	exit := l.UniqueExit()
+	if exit == nil {
+		return fmt.Errorf("passes: no unique exit")
+	}
+	for _, b := range f.Blocks {
+		if l.Blocks[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a == accNext && in.Op == ir.OpPhi {
+					return fmt.Errorf("passes: reduction value used by a phi outside the loop")
+				}
+				if a == acc {
+					return fmt.Errorf("passes: pre-update accumulator used outside the loop")
+				}
+			}
+		}
+	}
+
+	// ---- Transform. ----
+
+	term := body.Term()
+	originals := make([]*ir.Instr, 0, len(body.Instrs))
+	for _, in := range body.Instrs {
+		if in.Op == ir.OpPhi || in == term || in == iv.Step || in == iv.Cond {
+			continue
+		}
+		originals = append(originals, in)
+	}
+
+	chainEnds := []*ir.Instr{accNext}
+	for u := 1; u < factor; u++ {
+		// This copy's IV value: iv+u (reusing the original step for u=1).
+		var ivU ir.Value
+		if u == 1 {
+			ivU = iv.Step
+		} else {
+			add := &ir.Instr{Op: ir.OpAdd, Ty: iv.Phi.Ty,
+				Args: []ir.Value{iv.Phi, ir.ConstInt(iv.Phi.Ty, int64(u))}}
+			add.SetName(f.UniqueValueName("iv.u"))
+			insertBeforeTerm(body, add)
+			ir.SetInstrBlock(add, body)
+			ivU = add
+		}
+		// This copy's accumulator chain.
+		accU := &ir.Instr{Op: ir.OpPhi, Ty: acc.Ty}
+		accU.SetName(f.UniqueValueName(acc.Name() + ".u"))
+		insertAt(body, len(body.Phis()), accU)
+
+		vmap := map[ir.Value]ir.Value{iv.Phi: ivU, acc: accU}
+		var accNextU *ir.Instr
+		for _, in := range originals {
+			c := cloneInstrShallow(in, vmap)
+			if in.Ty != ir.Void {
+				c.SetName(f.UniqueValueName(in.Name() + ".u"))
+			}
+			vmap[in] = c
+			insertBeforeTerm(body, c)
+			ir.SetInstrBlock(c, body)
+			if in == accNext {
+				accNextU = c
+			}
+		}
+		for i, blk := range acc.Blocks {
+			if i == latchIdx {
+				ir.AddIncoming(accU, accNextU, blk)
+			} else {
+				ir.AddIncoming(accU, ir.ConstFloat(acc.Ty, 0), blk)
+			}
+		}
+		chainEnds = append(chainEnds, accNextU)
+	}
+
+	// New IV step: +factor; it must precede the exit comparison that
+	// will use it. Retarget the comparison and the IV phi.
+	stepF := &ir.Instr{Op: ir.OpAdd, Ty: iv.Phi.Ty,
+		Args: []ir.Value{iv.Phi, ir.ConstInt(iv.Phi.Ty, int64(factor))}}
+	stepF.SetName(f.UniqueValueName("iv.u"))
+	insertBefore(iv.Cond, stepF)
+	ir.SetInstrBlock(stepF, body)
+	for i, a := range iv.Cond.Args {
+		if a == iv.Step {
+			iv.Cond.Args[i] = stepF
+		}
+	}
+	for i, blk := range iv.Phi.Blocks {
+		if blk == body && iv.Phi.Args[i] == iv.Step {
+			iv.Phi.Args[i] = stepF
+		}
+	}
+
+	// Combine the chains in the exit block (in def-before-use order,
+	// right after the phis) and retarget outside users of the original
+	// reduction value.
+	combines := map[*ir.Instr]bool{}
+	var combined ir.Value = chainEnds[0]
+	pos := len(exit.Phis())
+	for _, end := range chainEnds[1:] {
+		c := &ir.Instr{Op: ir.OpFAdd, Ty: acc.Ty, Args: []ir.Value{combined, end}}
+		c.SetName(f.UniqueValueName("red"))
+		insertAt(exit, pos, c)
+		pos++
+		combines[c] = true
+		combined = c
+	}
+	for _, b := range f.Blocks {
+		if l.Blocks[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if combines[in] {
+				continue
+			}
+			for i, a := range in.Args {
+				if a == accNext {
+					in.Args[i] = combined
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// UnrollReductions applies UnrollReduction to every qualifying
+// innermost loop of f, preferring 4-way interleave and falling back to
+// 2-way, and reports how many loops were transformed.
+func UnrollReductions(f *ir.Func) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	li := ComputeLoopInfo(f)
+	n := 0
+	for _, l := range li.Loops() {
+		if !l.IsInnermost() {
+			continue
+		}
+		if err := UnrollReduction(f, l, 4); err == nil {
+			n++
+			continue
+		}
+		if err := UnrollReduction(f, l, 2); err == nil {
+			n++
+		}
+	}
+	return n
+}

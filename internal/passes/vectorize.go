@@ -1,0 +1,383 @@
+package passes
+
+import (
+	"fmt"
+
+	"mperf/internal/ir"
+)
+
+// VectorizeProfile models the maturity of a target's auto-vectorizer.
+// The evaluation's central codegen-quality contrast (§5.2) is the x86
+// AVX2 backend vectorizing the tiled matmul while the RVV backend
+// leaves it scalar; the profiles encode that difference as policy.
+type VectorizeProfile uint8
+
+// Profiles.
+const (
+	// VecNone never vectorizes (no vector unit: SiFive U74).
+	VecNone VectorizeProfile = iota
+	// VecConservative vectorizes only innermost loops and declines
+	// loops carrying floating-point reductions — the observed behaviour
+	// of immature RVV code generation on the X60/C910 targets.
+	VecConservative
+	// VecAggressive additionally performs outer-loop vectorization of
+	// perfect-ish nests with lockstep inner control flow, the quality
+	// class of the mature AVX2 backend.
+	VecAggressive
+)
+
+// ProfileByName maps the platform catalog's profile strings.
+func ProfileByName(s string) (VectorizeProfile, error) {
+	switch s {
+	case "none":
+		return VecNone, nil
+	case "conservative":
+		return VecConservative, nil
+	case "aggressive":
+		return VecAggressive, nil
+	}
+	return VecNone, fmt.Errorf("passes: unknown vectorizer profile %q", s)
+}
+
+// VectorizeFunction attempts to vectorize loops in f with the given
+// lane count under the profile's legality policy. It returns the
+// headers of the loops it vectorized.
+func VectorizeFunction(f *ir.Func, profile VectorizeProfile, lanes int) []string {
+	if profile == VecNone || lanes <= 1 || len(f.Blocks) == 0 {
+		return nil
+	}
+	li := ComputeLoopInfo(f)
+	var done []string
+	vectorizedNests := map[*Loop]bool{}
+	for _, l := range li.InnermostFirst() {
+		// Skip loops inside an already-vectorized nest.
+		skip := false
+		for p := l; p != nil; p = p.Parent {
+			if vectorizedNests[p] {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		if profile == VecConservative && !l.IsInnermost() {
+			continue
+		}
+		if err := tryVectorizeLoop(f, l, lanes, profile); err != nil {
+			continue
+		}
+		for p := l; p != nil; p = p.Parent {
+			vectorizedNests[p] = true
+		}
+		done = append(done, l.Header.BName)
+	}
+	return done
+}
+
+// tryVectorizeLoop checks legality and, if the loop qualifies, widens
+// it in place: the IV steps by `lanes`, varying loads/stores become
+// vector accesses, varying FP dataflow becomes vector-typed, and
+// uniform operands are broadcast with splats.
+func tryVectorizeLoop(f *ir.Func, l *Loop, lanes int, profile VectorizeProfile) error {
+	iv, err := FindCanonicalIV(l)
+	if err != nil {
+		return err
+	}
+	if iv.StepBy != 1 {
+		return fmt.Errorf("passes: loop step %d, need 1", iv.StepBy)
+	}
+	// The lanes parameter counts f32 lanes; wider elements get
+	// proportionally fewer lanes within the same vector register width.
+	vecBytes := lanes * 4
+
+	vi := computeVariance(l, iv.Phi)
+
+	type memPlan struct {
+		in     *ir.Instr
+		vector bool // becomes a vector access
+	}
+	var mems []memPlan
+	var widen []*ir.Instr
+	widenSet := map[*ir.Instr]bool{}
+
+	markWiden := func(in *ir.Instr) {
+		if !widenSet[in] {
+			widenSet[in] = true
+			widen = append(widen, in)
+		}
+	}
+
+	for _, b := range l.BlockList() {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoad:
+				if !vi.varies(in.Args[0]) {
+					continue // uniform load stays scalar
+				}
+				s, ok := stride(in.Args[0], iv.Phi, l)
+				if !ok {
+					return fmt.Errorf("passes: non-affine load address in %s", b.BName)
+				}
+				if s == 0 {
+					continue
+				}
+				if s != int64(in.Ty.Size()) {
+					return fmt.Errorf("passes: strided load (stride %d) in %s", s, b.BName)
+				}
+				if in.Ty.IsVector() {
+					return fmt.Errorf("passes: loop already vectorized")
+				}
+				mems = append(mems, memPlan{in: in, vector: true})
+				markWiden(in)
+			case ir.OpStore:
+				addrVaries := vi.varies(in.Args[1])
+				valVaries := vi.varies(in.Args[0])
+				if !addrVaries {
+					if valVaries {
+						return fmt.Errorf("passes: varying value stored to uniform address in %s", b.BName)
+					}
+					continue
+				}
+				s, ok := stride(in.Args[1], iv.Phi, l)
+				if !ok || s != int64(in.Args[0].Type().Size()) {
+					return fmt.Errorf("passes: non-unit-stride store in %s", b.BName)
+				}
+				if in.Args[0].Type().IsVector() {
+					return fmt.Errorf("passes: loop already vectorized")
+				}
+				mems = append(mems, memPlan{in: in, vector: true})
+			case ir.OpCall:
+				return fmt.Errorf("passes: call inside candidate loop")
+			case ir.OpCondBr, ir.OpSwitch:
+				if len(in.Args) > 0 && vi.varies(in.Args[0]) {
+					// The IV's own exit test is fine (it is uniform
+					// across lanes in the sense that all lanes agree);
+					// everything else diverges.
+					cond, okC := in.Args[0].(*ir.Instr)
+					if !okC || cond != iv.Cond {
+						return fmt.Errorf("passes: divergent control flow in %s", b.BName)
+					}
+				}
+			case ir.OpPhi:
+				if in == iv.Phi {
+					continue
+				}
+				if vi.varies(in) {
+					if !in.Ty.IsFloat() {
+						return fmt.Errorf("passes: varying integer phi %%%s", in.Name())
+					}
+					if profile == VecConservative {
+						return fmt.Errorf("passes: conservative profile declines FP reduction")
+					}
+					markWiden(in)
+				}
+			}
+		}
+	}
+
+	// Propagate widening through varying FP dataflow, and validate that
+	// varying integer values are only used for addressing/control.
+	for _, b := range l.BlockList() {
+		for _, in := range b.Instrs {
+			if widenSet[in] || !vi.vary[in] {
+				continue
+			}
+			switch in.Op {
+			case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFMA:
+				markWiden(in)
+			case ir.OpFCmp, ir.OpSelect, ir.OpSIToFP, ir.OpFPToSI, ir.OpFPExt, ir.OpFPTrunc:
+				return fmt.Errorf("passes: unsupported varying op %s", in.Op)
+			}
+		}
+	}
+
+	// Effective lane count: bounded by the widest element the loop
+	// touches, so the widened types fit the vector register width.
+	maxElem := 4
+	note := func(t ir.Type) {
+		if s := t.Size(); s > maxElem {
+			maxElem = s
+		}
+	}
+	for _, in := range widen {
+		note(in.Ty)
+	}
+	for _, mp := range mems {
+		if mp.in.Op == ir.OpStore {
+			note(mp.in.Args[0].Type())
+		}
+	}
+	for _, b := range l.BlockList() {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore && vi.varies(in.Args[1]) {
+				note(in.Args[0].Type())
+			}
+		}
+	}
+	lanes = vecBytes / maxElem
+	if lanes < 2 {
+		return fmt.Errorf("passes: elements of %d bytes leave fewer than 2 lanes", maxElem)
+	}
+	// Trip count must be a known multiple of the lane count (the
+	// front-end hint substitutes for runtime remainder loops).
+	mult, ok := f.Hint("trip_multiple." + l.Header.BName)
+	if !ok || mult%int64(lanes) != 0 {
+		return fmt.Errorf("passes: trip count of %s not known to divide %d", l.Header.BName, lanes)
+	}
+
+	// Widened values escaping the loop need an epilogue. The only
+	// supported shape is the classic reduction: the escaping value is
+	// the latch update of a widened accumulator phi seeded with 0, so a
+	// horizontal add over the lanes yields the scalar result. Anything
+	// else (last-value semantics, phi consumers) is declined.
+	escapees := map[*ir.Instr]bool{}
+	exit := l.UniqueExit()
+	for _, b := range f.Blocks {
+		if l.Blocks[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				ai, ok := a.(*ir.Instr)
+				if !ok || !widenSet[ai] {
+					continue
+				}
+				if in.Op == ir.OpPhi {
+					return fmt.Errorf("passes: widened value %%%s escapes into a phi", ai.Name())
+				}
+				if exit == nil {
+					return fmt.Errorf("passes: escaping reduction needs a unique exit")
+				}
+				if !isReductionUpdate(ai, widenSet, l) {
+					return fmt.Errorf("passes: widened value %%%s escapes without reduction semantics", ai.Name())
+				}
+				escapees[ai] = true
+			}
+		}
+	}
+
+	// ---- Legality established; transform. ----
+
+	// 1. Step the IV by the lane count.
+	if c, ok := iv.Step.Args[1].(*ir.Const); ok && iv.Step.Args[0] == iv.Phi {
+		_ = c
+		iv.Step.Args[1] = ir.ConstInt(iv.Step.Ty, int64(lanes))
+	} else {
+		iv.Step.Args[0] = ir.ConstInt(iv.Step.Ty, int64(lanes))
+	}
+
+	// 2. Widen the marked instructions' types.
+	for _, in := range widen {
+		in.Ty = ir.VecOf(in.Ty, lanes)
+	}
+
+	// 3. Broadcast uniform operands of widened instructions (and of
+	// vector stores) with splats inserted at the use site; phis get
+	// their splats at the end of the incoming block.
+	needsVec := func(user *ir.Instr, argIdx int) bool {
+		switch user.Op {
+		case ir.OpLoad:
+			return false // address stays scalar
+		case ir.OpStore:
+			return argIdx == 0 // the stored value
+		case ir.OpPhi, ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFMA:
+			return true
+		}
+		return false
+	}
+	splatOf := func(v ir.Value, user *ir.Instr, phiBlock *ir.Block) ir.Value {
+		if v.Type().IsVector() {
+			return v
+		}
+		sp := &ir.Instr{Op: ir.OpSplat, Ty: ir.VecOf(v.Type(), lanes), Args: []ir.Value{v}}
+		sp.SetName(f.UniqueValueName("bc"))
+		if phiBlock != nil {
+			insertBeforeTerm(phiBlock, sp)
+			ir.SetInstrBlock(sp, phiBlock)
+		} else {
+			insertBefore(user, sp)
+		}
+		return sp
+	}
+	for _, b := range l.BlockList() {
+		for _, in := range b.Instrs {
+			vecStore := in.Op == ir.OpStore && in.Ty == ir.Void && vi.varies(in.Args[1])
+			if !widenSet[in] && !vecStore {
+				continue
+			}
+			for i, a := range in.Args {
+				if !needsVec(in, i) {
+					continue
+				}
+				if ai, ok := a.(*ir.Instr); ok && widenSet[ai] {
+					continue // already vector
+				}
+				if in.Op == ir.OpPhi {
+					in.Args[i] = splatOf(a, in, in.Blocks[i])
+				} else {
+					in.Args[i] = splatOf(a, in, nil)
+				}
+			}
+		}
+	}
+
+	// 4. Reduction epilogue: horizontal-add escaping accumulators in
+	// the exit block and retarget their outside users.
+	for e := range escapees {
+		red := &ir.Instr{Op: ir.OpReduce, Ty: e.Ty.Elem(), Args: []ir.Value{e}}
+		red.SetName(f.UniqueValueName("hsum"))
+		insertAt(exit, len(exit.Phis()), red)
+		for _, b := range f.Blocks {
+			if l.Blocks[b] {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if in == red {
+					continue
+				}
+				for i, a := range in.Args {
+					if a == e {
+						in.Args[i] = red
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isReductionUpdate reports whether e is the latch update of a
+// zero-seeded accumulator phi in the loop — the condition under which
+// a lane-wise horizontal add recovers the scalar reduction value.
+func isReductionUpdate(e *ir.Instr, widenSet map[*ir.Instr]bool, l *Loop) bool {
+	if e.Op != ir.OpFAdd && e.Op != ir.OpFMA {
+		return false
+	}
+	for _, b := range l.BlockList() {
+		for _, phi := range b.Phis() {
+			if !widenSet[phi] {
+				continue
+			}
+			feeds := false
+			zeroInit := false
+			for i, v := range phi.Args {
+				if v == e && l.Blocks[phi.Blocks[i]] {
+					feeds = true
+				}
+				if c, ok := v.(*ir.Const); ok && !l.Blocks[phi.Blocks[i]] && c.Float == 0 {
+					zeroInit = true
+				}
+			}
+			if feeds && zeroInit {
+				// e must consume the phi as its accumulator operand.
+				for _, a := range e.Args {
+					if a == phi {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

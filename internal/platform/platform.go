@@ -1,0 +1,357 @@
+// Package platform holds the catalog of simulated hardware platforms:
+// the three RISC-V cores the paper surveys (SiFive U74, T-Head C910,
+// SpacemiT X60) plus the Intel i5-1135G7 reference machine used in the
+// evaluation. Each platform bundles a calibrated core model
+// configuration, a PMU capability specification, CPU identification
+// registers, and the capability summary printed as Table 1.
+//
+// miniperf identifies platforms through the CPU ID registers (Detect),
+// reproducing the paper's design decision (§3.3) of using direct
+// hardware identification instead of perf's event discovery.
+package platform
+
+import (
+	"fmt"
+
+	"mperf/internal/isa"
+	"mperf/internal/machine"
+	"mperf/internal/mem"
+	"mperf/internal/pmu"
+	"mperf/internal/sbi"
+)
+
+// Capabilities is the per-platform row of the paper's Table 1.
+type Capabilities struct {
+	OutOfOrder    bool
+	RVVVersion    string // "Not supported", "0.7.1", "1.0", or "AVX2" for x86
+	OverflowIRQ   pmu.OverflowSupport
+	UpstreamLinux string // "Yes", "Partial", "No"
+}
+
+// Platform describes one catalog entry.
+type Platform struct {
+	// Name is the core's marketing name ("SpacemiT X60").
+	Name string
+	// Board names the consumer hardware carrying the core.
+	Board string
+	// TargetISA is the compilation target ("rv64gcv", "x86-64+avx2").
+	TargetISA string
+	// ID holds the CPU identification registers miniperf matches on.
+	ID isa.CPUID
+	// Core is the pipeline/memory model configuration.
+	Core machine.Config
+	// PMUSpec describes the performance monitoring capabilities.
+	PMUSpec pmu.Spec
+	// Caps is the Table 1 capability row.
+	Caps Capabilities
+	// TheoreticalPeakGFLOPS is the compute roof computed the way §5.2
+	// does (issue width × vector lanes × frequency for the X60 formula;
+	// ports × lanes × 2 × frequency for the x86 FMA form).
+	TheoreticalPeakGFLOPS float64
+	// VectorizerProfile describes auto-vectorization maturity for this
+	// target: "aggressive" (x86 AVX2 backend), "conservative" (RVV
+	// backend declines reduction loops — the compiler immaturity the
+	// paper's §5.2 highlights), or "none".
+	VectorizerProfile string
+}
+
+// Hart is an assembled simulated hart: core wired to PMU wired to
+// firmware. The kernel layer is attached by the interpreter, which
+// implements the kernel's CPU context interface.
+type Hart struct {
+	Platform *Platform
+	Core     *machine.Core
+	PMU      *pmu.PMU
+	Firmware *sbi.Firmware
+}
+
+// NewHart instantiates the platform's hardware stack.
+func (p *Platform) NewHart() *Hart {
+	dev := pmu.New(p.PMUSpec)
+	core := machine.NewCore(p.Core, dev)
+	fw := sbi.New(dev)
+	return &Hart{Platform: p, Core: core, PMU: dev, Firmware: fw}
+}
+
+// baseEvents returns the generalized event map every platform shares.
+func baseEvents() map[isa.EventCode]isa.Signal {
+	return map[isa.EventCode]isa.Signal{
+		isa.EventCycles:             isa.SigCycle,
+		isa.EventInstructions:       isa.SigInstret,
+		isa.EventCacheReferences:    isa.SigL1DAccess,
+		isa.EventCacheMisses:        isa.SigL1DMiss,
+		isa.EventBranchInstructions: isa.SigBranch,
+		isa.EventBranchMisses:       isa.SigBranchMiss,
+		isa.EventStalledCycles:      isa.SigStall,
+	}
+}
+
+// inOrderLatencies fills a latency table typical of short in-order
+// pipelines.
+func inOrderLatencies() (l [machine.NumOpClasses]uint64) {
+	l[machine.OpIntALU] = 1
+	l[machine.OpIntMul] = 3
+	l[machine.OpIntDiv] = 20
+	l[machine.OpFPAdd] = 4
+	l[machine.OpFPMul] = 5
+	l[machine.OpFMA] = 4
+	l[machine.OpFPDiv] = 18
+	l[machine.OpVecALU] = 4
+	l[machine.OpVecFMA] = 4
+	return l
+}
+
+// oooLatencies fills a latency table typical of deeper OoO pipelines
+// (latency matters less there: the window hides it).
+func oooLatencies() (l [machine.NumOpClasses]uint64) {
+	l[machine.OpIntALU] = 1
+	l[machine.OpIntMul] = 3
+	l[machine.OpIntDiv] = 18
+	l[machine.OpFPAdd] = 4
+	l[machine.OpFPMul] = 4
+	l[machine.OpFMA] = 4
+	l[machine.OpFPDiv] = 14
+	l[machine.OpVecALU] = 4
+	l[machine.OpVecFMA] = 4
+	return l
+}
+
+// X60 returns the SpacemiT X60 platform (Banana Pi F3 / Milk-V
+// Jupyter): dual-issue in-order, RVV 1.0 (VLEN=256), and the PMU
+// defect this paper's first contribution works around.
+func X60() *Platform {
+	cfg := machine.Config{
+		Name:               "SpacemiT X60",
+		Kind:               machine.InOrder,
+		FreqHz:             1.6e9,
+		IssueWidth:         2,
+		Latency:            inOrderLatencies(),
+		MispredictPenalty:  7,
+		PredictorBits:      10,
+		BTBBits:            9,
+		StoreBufferEntries: 8,
+		VectorLanes32:      8, // RVV 1.0, VLEN=256
+		Mem: mem.HierarchyConfig{
+			L1D: mem.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, LineSize: 64, Ways: 8, HitLatency: 3},
+			L2:  mem.CacheConfig{Name: "L2", SizeBytes: 512 << 10, LineSize: 64, Ways: 8, HitLatency: 18},
+			// Calibrated so a write-allocate memset sustains ≈3.16
+			// stored bytes/cycle, the figure §5.2 adopts from the
+			// rvv-bench memset results (fill + write-back halves the
+			// visible store bandwidth: 6.32/2 = 3.16).
+			DRAM: mem.DRAMConfig{BytesPerCycle: 6.32, Latency: 170},
+		},
+		TimerIntervalCycles: 1_600_000, // 1 ms tick at 1.6 GHz
+		TimerHandlerCycles:  4000,
+	}
+	return &Platform{
+		Name:      "SpacemiT X60",
+		Board:     "Banana Pi F3 / Milk-V Jupyter",
+		TargetISA: "rv64gcv",
+		ID:        isa.CPUID{MVendorID: isa.VendorSpacemiT, MArchID: 0x8000000058000001, MImpID: 0x1000000049772200},
+		Core:      cfg,
+		PMUSpec: pmu.Spec{
+			CounterWidthBits: 64,
+			NumProgrammable:  8,
+			Events:           baseEvents(),
+			RawEvents: map[uint32]isa.Signal{
+				isa.X60EventUModeCycle: isa.SigUModeCycle,
+				isa.X60EventMModeCycle: isa.SigMModeCycle,
+				isa.X60EventSModeCycle: isa.SigSModeCycle,
+			},
+			Overflow: pmu.OverflowLimited,
+			SamplingEvents: map[isa.EventCode]bool{
+				isa.RawEvent(isa.X60EventUModeCycle): true,
+				isa.RawEvent(isa.X60EventMModeCycle): true,
+				isa.RawEvent(isa.X60EventSModeCycle): true,
+			},
+		},
+		Caps: Capabilities{
+			OutOfOrder:    false,
+			RVVVersion:    "1.0",
+			OverflowIRQ:   pmu.OverflowLimited,
+			UpstreamLinux: "No",
+		},
+		// §5.2: 2 IPC × 8 SP FLOP/vector instruction × 1.6 GHz.
+		TheoreticalPeakGFLOPS: 25.6,
+		VectorizerProfile:     "conservative",
+	}
+}
+
+// U74 returns the SiFive U74 platform (VisionFive 2): dual-issue
+// in-order, no vector unit, no overflow interrupts at all.
+func U74() *Platform {
+	cfg := machine.Config{
+		Name:               "SiFive U74",
+		Kind:               machine.InOrder,
+		FreqHz:             1.5e9,
+		IssueWidth:         2,
+		Latency:            inOrderLatencies(),
+		MispredictPenalty:  6,
+		PredictorBits:      10,
+		BTBBits:            9,
+		StoreBufferEntries: 8,
+		VectorLanes32:      0,
+		Mem: mem.HierarchyConfig{
+			L1D:  mem.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, LineSize: 64, Ways: 8, HitLatency: 3},
+			L2:   mem.CacheConfig{Name: "L2", SizeBytes: 2 << 20, LineSize: 64, Ways: 16, HitLatency: 21},
+			DRAM: mem.DRAMConfig{BytesPerCycle: 4.0, Latency: 160},
+		},
+		TimerIntervalCycles: 1_500_000,
+		TimerHandlerCycles:  4000,
+	}
+	return &Platform{
+		Name:      "SiFive U74",
+		Board:     "VisionFive 2",
+		TargetISA: "rv64gc",
+		ID:        isa.CPUID{MVendorID: isa.VendorSiFive, MArchID: 0x8000000000000007, MImpID: 0x4210427},
+		Core:      cfg,
+		PMUSpec: pmu.Spec{
+			CounterWidthBits: 64,
+			NumProgrammable:  2,
+			Events:           baseEvents(),
+			Overflow:         pmu.OverflowNone,
+		},
+		Caps: Capabilities{
+			OutOfOrder:    false,
+			RVVVersion:    "Not supported",
+			OverflowIRQ:   pmu.OverflowNone,
+			UpstreamLinux: "Yes",
+		},
+		// Scalar FMA: 1/cycle × 2 FLOPs × 1.5 GHz.
+		TheoreticalPeakGFLOPS: 3.0,
+		VectorizerProfile:     "none",
+	}
+}
+
+// C910 returns the T-Head C910 platform (Lichee Pi 4A): 3-wide
+// out-of-order with RVV 0.7.1 (VLEN=128) and full PMU sampling, but
+// vendor-kernel-only support.
+func C910() *Platform {
+	cfg := machine.Config{
+		Name:               "T-Head C910",
+		Kind:               machine.OutOfOrder,
+		FreqHz:             1.85e9,
+		IssueWidth:         3,
+		Latency:            oooLatencies(),
+		MispredictPenalty:  12,
+		PredictorBits:      13,
+		BTBBits:            11,
+		MLP:                6,
+		StoreBufferEntries: 16,
+		VectorLanes32:      4, // RVV 0.7.1, VLEN=128
+		Mem: mem.HierarchyConfig{
+			L1D:  mem.CacheConfig{Name: "L1D", SizeBytes: 64 << 10, LineSize: 64, Ways: 4, HitLatency: 4},
+			L2:   mem.CacheConfig{Name: "L2", SizeBytes: 1 << 20, LineSize: 64, Ways: 16, HitLatency: 20},
+			DRAM: mem.DRAMConfig{BytesPerCycle: 8.0, Latency: 150},
+		},
+		TimerIntervalCycles: 1_850_000,
+		TimerHandlerCycles:  3500,
+	}
+	return &Platform{
+		Name:      "T-Head C910",
+		Board:     "Lichee Pi 4A",
+		TargetISA: "rv64gcv0p7",
+		ID:        isa.CPUID{MVendorID: isa.VendorTHead, MArchID: 0x910, MImpID: 0x1000000},
+		Core:      cfg,
+		PMUSpec: pmu.Spec{
+			CounterWidthBits: 64,
+			NumProgrammable:  12,
+			Events:           baseEvents(),
+			Overflow:         pmu.OverflowFull,
+		},
+		Caps: Capabilities{
+			OutOfOrder:    true,
+			RVVVersion:    "0.7.1",
+			OverflowIRQ:   pmu.OverflowFull,
+			UpstreamLinux: "Partial",
+		},
+		// 1 vector FMA/cycle × 4 lanes × 2 FLOPs × 1.85 GHz.
+		TheoreticalPeakGFLOPS: 14.8,
+		VectorizerProfile:     "conservative",
+	}
+}
+
+// I5_1135G7 returns the Intel reference platform the evaluation
+// compares against: a wide out-of-order core with AVX2 and a mature
+// PMU. It is identified through the same CPUID interface for symmetry
+// (a synthetic vendor ID stands in for the x86 identification leaves).
+func I5_1135G7() *Platform {
+	cfg := machine.Config{
+		Name:               "Intel Core i5-1135G7",
+		Kind:               machine.OutOfOrder,
+		FreqHz:             4.2e9,
+		IssueWidth:         5,
+		Latency:            oooLatencies(),
+		MispredictPenalty:  17,
+		PredictorBits:      16,
+		BTBBits:            13,
+		MLP:                10,
+		StoreBufferEntries: 32,
+		VectorLanes32:      8, // AVX2: 256-bit
+		Mem: mem.HierarchyConfig{
+			L1D: mem.CacheConfig{Name: "L1D", SizeBytes: 48 << 10, LineSize: 64, Ways: 12, HitLatency: 5},
+			L2:  mem.CacheConfig{Name: "L2", SizeBytes: 1 << 20, LineSize: 64, Ways: 16, HitLatency: 14},
+			// LPDDR4x: ~27 GB/s sustained from one core.
+			DRAM: mem.DRAMConfig{BytesPerCycle: 6.5, Latency: 280},
+		},
+		TimerIntervalCycles: 4_200_000,
+		TimerHandlerCycles:  2500,
+	}
+	// x86 retires more instructions for the same IR: cmp+jcc pairs for
+	// compares-and-branches, two-operand form forcing moves, explicit
+	// address arithmetic. These factors (×256 fixed point) are what let
+	// Table 2 show the x86 machine executing ~2× the instructions of
+	// the RISC-V build at ~4× the IPC.
+	cfg.InstrExpansion[machine.OpIntALU] = 307 // 1.20
+	cfg.InstrExpansion[machine.OpLoad] = 282   // 1.10
+	cfg.InstrExpansion[machine.OpStore] = 282  // 1.10
+	cfg.InstrExpansion[machine.OpBranch] = 512 // 2.00 (cmp+jcc)
+	cfg.InstrExpansion[machine.OpIndirect] = 512
+	cfg.InstrExpansion[machine.OpCall] = 384 // 1.50 (frame setup)
+	return &Platform{
+		Name:      "Intel Core i5-1135G7",
+		Board:     "reference laptop (Tiger Lake)",
+		TargetISA: "x86-64+avx2",
+		ID:        isa.CPUID{MVendorID: isa.VendorIntelRef, MArchID: 0x806C1, MImpID: 0x1},
+		Core:      cfg,
+		PMUSpec: pmu.Spec{
+			CounterWidthBits: 48,
+			NumProgrammable:  8,
+			Events:           baseEvents(),
+			RawEvents: map[uint32]isa.Signal{
+				isa.X86EventFPArith: isa.SigSpecFlop,
+				isa.X86EventLoads:   isa.SigLoad,
+				isa.X86EventStores:  isa.SigStore,
+			},
+			Overflow: pmu.OverflowFull,
+		},
+		Caps: Capabilities{
+			OutOfOrder:    true,
+			RVVVersion:    "AVX2 (reference)",
+			OverflowIRQ:   pmu.OverflowFull,
+			UpstreamLinux: "Yes",
+		},
+		// 2 FMA ports × 8 lanes × 2 FLOPs × 4.2 GHz.
+		TheoreticalPeakGFLOPS: 134.4,
+		VectorizerProfile:     "aggressive",
+	}
+}
+
+// Catalog returns all known platforms, RISC-V entries first, in the
+// order Table 1 lists them.
+func Catalog() []*Platform {
+	return []*Platform{U74(), C910(), X60(), I5_1135G7()}
+}
+
+// Detect finds the platform matching the CPU identification registers,
+// the way miniperf identifies hardware instead of using perf's event
+// discovery. Matching uses vendor and architecture IDs; implementation
+// ID differences (silicon revisions) are tolerated.
+func Detect(id isa.CPUID) (*Platform, error) {
+	for _, p := range Catalog() {
+		if p.ID.MVendorID == id.MVendorID && p.ID.MArchID == id.MArchID {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("platform: unknown CPU %v", id)
+}

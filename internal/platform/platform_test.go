@@ -1,0 +1,158 @@
+package platform
+
+import (
+	"testing"
+
+	"mperf/internal/isa"
+	"mperf/internal/pmu"
+)
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	// The capability rows of Table 1 in the paper.
+	want := []struct {
+		name     string
+		ooo      bool
+		rvv      string
+		overflow pmu.OverflowSupport
+		upstream string
+	}{
+		{"SiFive U74", false, "Not supported", pmu.OverflowNone, "Yes"},
+		{"T-Head C910", true, "0.7.1", pmu.OverflowFull, "Partial"},
+		{"SpacemiT X60", false, "1.0", pmu.OverflowLimited, "No"},
+	}
+	cat := Catalog()
+	if len(cat) < len(want) {
+		t.Fatalf("catalog has %d platforms, want at least %d", len(cat), len(want))
+	}
+	for i, w := range want {
+		p := cat[i]
+		if p.Name != w.name {
+			t.Errorf("catalog[%d] = %q, want %q", i, p.Name, w.name)
+			continue
+		}
+		if p.Caps.OutOfOrder != w.ooo {
+			t.Errorf("%s: OutOfOrder = %v, want %v", p.Name, p.Caps.OutOfOrder, w.ooo)
+		}
+		if p.Caps.RVVVersion != w.rvv {
+			t.Errorf("%s: RVV = %q, want %q", p.Name, p.Caps.RVVVersion, w.rvv)
+		}
+		if p.Caps.OverflowIRQ != w.overflow {
+			t.Errorf("%s: overflow = %v, want %v", p.Name, p.Caps.OverflowIRQ, w.overflow)
+		}
+		if p.Caps.UpstreamLinux != w.upstream {
+			t.Errorf("%s: upstream = %q, want %q", p.Name, p.Caps.UpstreamLinux, w.upstream)
+		}
+	}
+}
+
+func TestAllConfigsValid(t *testing.T) {
+	for _, p := range Catalog() {
+		cfg := p.Core
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: invalid core config: %v", p.Name, err)
+		}
+	}
+}
+
+func TestX60TheoreticalPeakMatchesPaper(t *testing.T) {
+	x := X60()
+	if x.TheoreticalPeakGFLOPS != 25.6 {
+		t.Errorf("X60 peak = %.1f GFLOP/s, paper computes 25.6", x.TheoreticalPeakGFLOPS)
+	}
+	// The formula: issue width × lanes × frequency (GHz).
+	derived := float64(x.Core.IssueWidth) * float64(x.Core.VectorLanes32) * x.Core.FreqHz / 1e9
+	if derived != x.TheoreticalPeakGFLOPS {
+		t.Errorf("X60 peak %.1f inconsistent with formula %.1f",
+			x.TheoreticalPeakGFLOPS, derived)
+	}
+}
+
+func TestX60MemsetCalibration(t *testing.T) {
+	// The DRAM channel is calibrated so write-allocate memset stores
+	// land at 3.16 B/cycle (channel/2 due to fill + write-back).
+	x := X60()
+	stored := x.Core.Mem.DRAM.BytesPerCycle / 2
+	if stored < 3.10 || stored > 3.22 {
+		t.Errorf("X60 calibrated memset bandwidth = %.2f B/cycle, want ≈3.16", stored)
+	}
+}
+
+func TestDetectKnownPlatforms(t *testing.T) {
+	for _, p := range Catalog() {
+		got, err := Detect(p.ID)
+		if err != nil {
+			t.Errorf("Detect(%v) failed: %v", p.ID, err)
+			continue
+		}
+		if got.Name != p.Name {
+			t.Errorf("Detect(%v) = %q, want %q", p.ID, got.Name, p.Name)
+		}
+	}
+}
+
+func TestDetectToleratesImpIDRevisions(t *testing.T) {
+	id := X60().ID
+	id.MImpID = 0xdeadbeef // different silicon revision
+	p, err := Detect(id)
+	if err != nil || p.Name != "SpacemiT X60" {
+		t.Errorf("Detect with changed mimpid = %v, %v; want X60", p, err)
+	}
+}
+
+func TestDetectUnknownFails(t *testing.T) {
+	if _, err := Detect(isa.CPUID{MVendorID: 0x123}); err == nil {
+		t.Error("unknown CPU ID must not match")
+	}
+}
+
+func TestNewHartWiring(t *testing.T) {
+	h := X60().NewHart()
+	if h.Core == nil || h.PMU == nil || h.Firmware == nil {
+		t.Fatal("hart missing components")
+	}
+	// The firmware must proxy the same PMU that the core feeds.
+	if h.Firmware.PMU() != h.PMU {
+		t.Error("firmware not wired to the hart's PMU")
+	}
+	// The PMU spec must carry the X60 quirk.
+	if h.PMU.Spec().CanSample(isa.EventCycles) {
+		t.Error("X60 hart allows sampling cycles")
+	}
+	if !h.PMU.Spec().CanSample(isa.RawEvent(isa.X60EventUModeCycle)) {
+		t.Error("X60 hart denies sampling u_mode_cycle")
+	}
+}
+
+func TestPlatformsAreIndependentInstances(t *testing.T) {
+	a, b := X60(), X60()
+	a.Core.IssueWidth = 99
+	if b.Core.IssueWidth == 99 {
+		t.Error("platform constructors must return independent configurations")
+	}
+}
+
+func TestVectorizerProfiles(t *testing.T) {
+	if I5_1135G7().VectorizerProfile != "aggressive" {
+		t.Error("x86 reference must use the aggressive vectorizer profile")
+	}
+	if X60().VectorizerProfile != "conservative" {
+		t.Error("X60 must use the conservative (immature RVV backend) profile")
+	}
+	if U74().VectorizerProfile != "none" {
+		t.Error("U74 has no vector unit")
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	cases := map[string]float64{
+		"SpacemiT X60":         1.6e9,
+		"SiFive U74":           1.5e9,
+		"T-Head C910":          1.85e9,
+		"Intel Core i5-1135G7": 4.2e9,
+	}
+	for _, p := range Catalog() {
+		if want, ok := cases[p.Name]; ok && p.Core.FreqHz != want {
+			t.Errorf("%s frequency = %g, want %g", p.Name, p.Core.FreqHz, want)
+		}
+	}
+}

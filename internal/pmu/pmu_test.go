@@ -1,0 +1,321 @@
+package pmu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mperf/internal/isa"
+	"mperf/internal/machine"
+)
+
+// x60Spec mirrors the SpacemiT X60: limited overflow support where only
+// the three vendor mode-cycle events can sample.
+func x60Spec() Spec {
+	return Spec{
+		CounterWidthBits: 64,
+		NumProgrammable:  8,
+		Events: map[isa.EventCode]isa.Signal{
+			isa.EventCycles:             isa.SigCycle,
+			isa.EventInstructions:       isa.SigInstret,
+			isa.EventCacheReferences:    isa.SigL1DAccess,
+			isa.EventCacheMisses:        isa.SigL1DMiss,
+			isa.EventBranchInstructions: isa.SigBranch,
+			isa.EventBranchMisses:       isa.SigBranchMiss,
+		},
+		RawEvents: map[uint32]isa.Signal{
+			isa.X60EventUModeCycle: isa.SigUModeCycle,
+			isa.X60EventMModeCycle: isa.SigMModeCycle,
+			isa.X60EventSModeCycle: isa.SigSModeCycle,
+		},
+		Overflow: OverflowLimited,
+		SamplingEvents: map[isa.EventCode]bool{
+			isa.RawEvent(isa.X60EventUModeCycle): true,
+			isa.RawEvent(isa.X60EventMModeCycle): true,
+			isa.RawEvent(isa.X60EventSModeCycle): true,
+		},
+	}
+}
+
+func fullSpec() Spec {
+	s := x60Spec()
+	s.Overflow = OverflowFull
+	s.SamplingEvents = nil
+	return s
+}
+
+func batch(pairs ...interface{}) *machine.DeltaBatch {
+	b := &machine.DeltaBatch{}
+	for i := 0; i < len(pairs); i += 2 {
+		b.Add(pairs[i].(isa.Signal), pairs[i+1].(uint64))
+	}
+	return b
+}
+
+func TestOverflowSupportString(t *testing.T) {
+	if OverflowNone.String() != "No" || OverflowLimited.String() != "Limited" ||
+		OverflowFull.String() != "Yes" {
+		t.Error("OverflowSupport strings must match Table 1 wording")
+	}
+}
+
+func TestFixedCountersCountTheirSignals(t *testing.T) {
+	p := New(x60Spec())
+	if err := p.Start(CounterCycle, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(CounterInstret, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	p.Apply(batch(isa.SigCycle, uint64(100), isa.SigInstret, uint64(42)))
+	if v, _ := p.Read(CounterCycle); v != 100 {
+		t.Errorf("cycle counter = %d, want 100", v)
+	}
+	if v, _ := p.Read(CounterInstret); v != 42 {
+		t.Errorf("instret counter = %d, want 42", v)
+	}
+}
+
+func TestProgrammableCounterConfiguration(t *testing.T) {
+	p := New(x60Spec())
+	if err := p.Configure(FirstHPM, isa.RawEvent(isa.X60EventUModeCycle)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(FirstHPM, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	p.Apply(batch(isa.SigUModeCycle, uint64(7)))
+	if v, _ := p.Read(FirstHPM); v != 7 {
+		t.Errorf("hpm counter = %d, want 7", v)
+	}
+}
+
+func TestConfigureRejectsUnknownEvent(t *testing.T) {
+	p := New(x60Spec())
+	if err := p.Configure(FirstHPM, isa.EventStalledCycles); err == nil {
+		t.Error("unmapped event accepted")
+	}
+	if err := p.Configure(FirstHPM, isa.RawEvent(0xdead)); err == nil {
+		t.Error("unknown raw event accepted")
+	}
+}
+
+func TestFixedCounterCannotBeReprogrammed(t *testing.T) {
+	p := New(x60Spec())
+	if err := p.Configure(CounterCycle, isa.EventInstructions); err == nil {
+		t.Error("fixed cycle counter accepted a different event")
+	}
+	if err := p.Configure(CounterCycle, isa.EventCycles); err != nil {
+		t.Errorf("fixed counter must accept its own event: %v", err)
+	}
+}
+
+func TestTimeSlotIsNotACounter(t *testing.T) {
+	p := New(x60Spec())
+	if err := p.Configure(1, isa.EventCycles); err == nil {
+		t.Error("index 1 (time CSR) must not be configurable")
+	}
+	if _, err := p.Read(1); err == nil {
+		t.Error("index 1 must not be readable as a counter")
+	}
+}
+
+func TestStartWithoutConfigureFails(t *testing.T) {
+	p := New(x60Spec())
+	if err := p.Start(FirstHPM, 0, true); err == nil {
+		t.Error("starting an unconfigured programmable counter must fail")
+	}
+}
+
+func TestStoppedCounterDoesNotCount(t *testing.T) {
+	p := New(x60Spec())
+	p.Start(CounterCycle, 0, true)
+	p.Apply(batch(isa.SigCycle, uint64(10)))
+	p.Stop(CounterCycle)
+	p.Apply(batch(isa.SigCycle, uint64(10)))
+	if v, _ := p.Read(CounterCycle); v != 10 {
+		t.Errorf("stopped counter advanced: %d, want 10", v)
+	}
+}
+
+func TestInhibitStopsCounting(t *testing.T) {
+	p := New(x60Spec())
+	p.Start(CounterCycle, 0, true)
+	p.SetInhibit(1 << CounterCycle)
+	p.Apply(batch(isa.SigCycle, uint64(10)))
+	if v, _ := p.Read(CounterCycle); v != 0 {
+		t.Errorf("inhibited counter advanced: %d", v)
+	}
+	p.SetInhibit(0)
+	p.Apply(batch(isa.SigCycle, uint64(10)))
+	if v, _ := p.Read(CounterCycle); v != 10 {
+		t.Errorf("un-inhibited counter = %d, want 10", v)
+	}
+	if p.Inhibit() != 0 {
+		t.Error("inhibit register readback wrong")
+	}
+}
+
+func TestX60QuirkSamplingCapability(t *testing.T) {
+	spec := x60Spec()
+	// The documented defect: cycles/instret cannot sample...
+	if spec.CanSample(isa.EventCycles) {
+		t.Error("X60 must not sample the cycles event")
+	}
+	if spec.CanSample(isa.EventInstructions) {
+		t.Error("X60 must not sample the instructions event")
+	}
+	// ...but the vendor mode-cycle events can.
+	for _, raw := range []uint32{isa.X60EventUModeCycle, isa.X60EventMModeCycle, isa.X60EventSModeCycle} {
+		if !spec.CanSample(isa.RawEvent(raw)) {
+			t.Errorf("X60 must sample vendor event %#x", raw)
+		}
+	}
+}
+
+func TestArmRespectsQuirk(t *testing.T) {
+	p := New(x60Spec())
+	p.Start(CounterCycle, 0, true)
+	if err := p.Arm(CounterCycle, 1000); err == nil {
+		t.Error("arming the cycle counter on X60 must fail")
+	}
+	p.Configure(FirstHPM, isa.RawEvent(isa.X60EventUModeCycle))
+	p.Start(FirstHPM, 0, true)
+	if err := p.Arm(FirstHPM, 1000); err != nil {
+		t.Errorf("arming u_mode_cycle on X60 must work: %v", err)
+	}
+}
+
+func TestOverflowHandlerFiresPerPeriod(t *testing.T) {
+	p := New(fullSpec())
+	var fired []int
+	p.SetOverflowHandler(func(idx int) { fired = append(fired, idx) })
+	p.Start(CounterCycle, 0, true)
+	if err := p.Arm(CounterCycle, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p.Apply(batch(isa.SigCycle, uint64(50)))
+	}
+	if len(fired) != 5 {
+		t.Errorf("500 cycles at period 100: %d overflows, want 5", len(fired))
+	}
+	for _, idx := range fired {
+		if idx != CounterCycle {
+			t.Errorf("overflow reported for counter %d, want %d", idx, CounterCycle)
+		}
+	}
+}
+
+func TestMultipleOverflowsInOneDelta(t *testing.T) {
+	p := New(fullSpec())
+	n := 0
+	p.SetOverflowHandler(func(int) { n++ })
+	p.Start(CounterCycle, 0, true)
+	p.Arm(CounterCycle, 10)
+	p.Apply(batch(isa.SigCycle, uint64(95)))
+	if n != 9 {
+		t.Errorf("95 cycles at period 10: %d overflows, want 9", n)
+	}
+}
+
+func TestDisarmStopsOverflows(t *testing.T) {
+	p := New(fullSpec())
+	n := 0
+	p.SetOverflowHandler(func(int) { n++ })
+	p.Start(CounterCycle, 0, true)
+	p.Arm(CounterCycle, 10)
+	p.Apply(batch(isa.SigCycle, uint64(20)))
+	p.Disarm(CounterCycle)
+	p.Apply(batch(isa.SigCycle, uint64(100)))
+	if n != 2 {
+		t.Errorf("overflows after disarm: %d, want 2", n)
+	}
+}
+
+func TestCounterWidthWraps(t *testing.T) {
+	spec := fullSpec()
+	spec.CounterWidthBits = 16
+	p := New(spec)
+	p.Start(CounterCycle, 0, true)
+	p.Apply(batch(isa.SigCycle, uint64(70000)))
+	if v, _ := p.Read(CounterCycle); v != 70000&0xFFFF {
+		t.Errorf("16-bit counter = %d, want %d", v, 70000&0xFFFF)
+	}
+}
+
+func TestStartSeedValue(t *testing.T) {
+	p := New(fullSpec())
+	p.Start(CounterCycle, 500, true)
+	p.Apply(batch(isa.SigCycle, uint64(10)))
+	if v, _ := p.Read(CounterCycle); v != 510 {
+		t.Errorf("seeded counter = %d, want 510", v)
+	}
+	// Restart without set keeps the value.
+	p.Stop(CounterCycle)
+	p.Start(CounterCycle, 0, false)
+	if v, _ := p.Read(CounterCycle); v != 510 {
+		t.Errorf("restart clobbered value: %d, want 510", v)
+	}
+}
+
+func TestOverflowNoneRejectsEverything(t *testing.T) {
+	spec := fullSpec()
+	spec.Overflow = OverflowNone
+	if spec.CanSample(isa.EventCycles) {
+		t.Error("OverflowNone platform must not sample anything")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(x60Spec())
+	p.Configure(FirstHPM, isa.RawEvent(isa.X60EventUModeCycle))
+	p.Start(FirstHPM, 0, true)
+	p.Start(CounterCycle, 0, true)
+	p.Apply(batch(isa.SigCycle, uint64(10), isa.SigUModeCycle, uint64(10)))
+	p.Reset()
+	if v, _ := p.Read(CounterCycle); v != 0 {
+		t.Error("reset must clear fixed counters")
+	}
+	if p.Running(CounterCycle) || p.Running(FirstHPM) {
+		t.Error("reset must stop counters")
+	}
+	if _, err := p.EventOf(FirstHPM); err == nil {
+		t.Error("reset must deconfigure programmable counters")
+	}
+	// Fixed counters stay bound to their events.
+	if ev, err := p.EventOf(CounterCycle); err != nil || ev != isa.EventCycles {
+		t.Error("fixed counter lost its event binding after reset")
+	}
+}
+
+func TestOverflowCountMatchesDeltaProperty(t *testing.T) {
+	// Property: for any positive period and any sequence of deltas, the
+	// number of handler invocations equals total/period (value starts 0).
+	if err := quick.Check(func(rawPeriod uint16, deltas []uint16) bool {
+		period := uint64(rawPeriod%1000) + 1
+		p := New(fullSpec())
+		n := uint64(0)
+		p.SetOverflowHandler(func(int) { n++ })
+		p.Start(CounterCycle, 0, true)
+		if err := p.Arm(CounterCycle, period); err != nil {
+			return false
+		}
+		var total uint64
+		for _, d := range deltas {
+			p.Apply(batch(isa.SigCycle, uint64(d)))
+			total += uint64(d)
+		}
+		return n == total/period
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventOf(t *testing.T) {
+	p := New(x60Spec())
+	p.Configure(FirstHPM, isa.EventBranchMisses)
+	ev, err := p.EventOf(FirstHPM)
+	if err != nil || ev != isa.EventBranchMisses {
+		t.Errorf("EventOf = %v, %v; want branch-misses", ev, err)
+	}
+}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "Name", "Value")
+	tb.AddRow("short", 3.14159)
+	tb.AddRow("a-much-longer-name", "x")
+	s := tb.String()
+	if !strings.Contains(s, "Title") || !strings.Contains(s, "3.14") {
+		t.Errorf("render wrong:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	// Header and separator align.
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator width mismatch")
+	}
+	if tb.NumRows() != 2 {
+		t.Error("row count wrong")
+	}
+}
+
+func TestGrouped(t *testing.T) {
+	cases := map[uint64]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		1234567:    "1,234,567",
+		3634478335: "3,634,478,335",
+	}
+	for in, want := range cases {
+		if got := Grouped(in); got != want {
+			t.Errorf("Grouped(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

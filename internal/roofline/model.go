@@ -1,0 +1,133 @@
+// Package roofline implements the paper's second contribution: the
+// hardware-agnostic Roofline workflow. It provides the model itself
+// (ceilings and measured points), the two-phase runner that drives a
+// compiler-instrumented module (baseline timing run + instrumented
+// counting run, Fig 2), a PMU-counter-based estimator standing in for
+// Intel Advisor's methodology (for the Fig 4 comparison), and ASCII /
+// SVG plot rendering.
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ComputeCeiling is a horizontal roof: peak arithmetic throughput.
+type ComputeCeiling struct {
+	Name   string
+	GFLOPS float64
+}
+
+// MemoryCeiling is a diagonal roof: peak memory bandwidth.
+type MemoryCeiling struct {
+	Name  string
+	GiBps float64
+}
+
+// Point is one measured kernel placed on the model.
+type Point struct {
+	Name string
+	// AI is arithmetic (operational) intensity in FLOPs per byte.
+	AI float64
+	// GFLOPS is achieved throughput.
+	GFLOPS float64
+	// Source names the methodology ("miniperf (IR)", "PMU counters",
+	// "self-reported").
+	Source string
+}
+
+// Model is a roofline chart for one platform.
+type Model struct {
+	Platform string
+	Compute  []ComputeCeiling
+	Memory   []MemoryCeiling
+	Points   []Point
+}
+
+// AddPoint appends a measured kernel.
+func (m *Model) AddPoint(p Point) { m.Points = append(m.Points, p) }
+
+// PeakGFLOPS returns the highest compute roof.
+func (m *Model) PeakGFLOPS() float64 {
+	peak := 0.0
+	for _, c := range m.Compute {
+		if c.GFLOPS > peak {
+			peak = c.GFLOPS
+		}
+	}
+	return peak
+}
+
+// PeakGiBps returns the highest memory roof.
+func (m *Model) PeakGiBps() float64 {
+	peak := 0.0
+	for _, c := range m.Memory {
+		if c.GiBps > peak {
+			peak = c.GiBps
+		}
+	}
+	return peak
+}
+
+// Attainable returns the roofline bound at arithmetic intensity ai:
+// min(peak compute, ai × peak bandwidth).
+func (m *Model) Attainable(ai float64) float64 {
+	bw := m.PeakGiBps() * (1 << 30) / 1e9 // GiB/s → GB/s → GFLOP/s per FLOP/byte
+	mem := ai * bw
+	peak := m.PeakGFLOPS()
+	if mem < peak {
+		return mem
+	}
+	return peak
+}
+
+// Ridge returns the arithmetic intensity where the memory roof meets
+// the compute roof — the machine-balance point.
+func (m *Model) Ridge() float64 {
+	bw := m.PeakGiBps() * (1 << 30) / 1e9
+	if bw == 0 {
+		return math.Inf(1)
+	}
+	return m.PeakGFLOPS() / bw
+}
+
+// Bound classifies a point as "memory-bound" or "compute-bound" by
+// which roof limits it at its intensity.
+func (m *Model) Bound(p Point) string {
+	if p.AI < m.Ridge() {
+		return "memory-bound"
+	}
+	return "compute-bound"
+}
+
+// Efficiency returns achieved/attainable for the point, in [0,1]-ish
+// (instrumentation skew can push slightly past 1).
+func (m *Model) Efficiency(p Point) float64 {
+	att := m.Attainable(p.AI)
+	if att == 0 {
+		return 0
+	}
+	return p.GFLOPS / att
+}
+
+// Summary renders a compact textual report of the model.
+func (m *Model) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Roofline model — %s\n", m.Platform)
+	for _, c := range m.Compute {
+		fmt.Fprintf(&sb, "  compute roof: %-28s %8.2f GFLOP/s\n", c.Name, c.GFLOPS)
+	}
+	for _, c := range m.Memory {
+		fmt.Fprintf(&sb, "  memory roof:  %-28s %8.2f GiB/s\n", c.Name, c.GiBps)
+	}
+	fmt.Fprintf(&sb, "  ridge point:  %.3f FLOP/byte\n", m.Ridge())
+	pts := append([]Point(nil), m.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Name < pts[j].Name })
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "  point: %-24s AI=%6.3f  %8.2f GFLOP/s  (%s, %s, %.0f%% of roof)\n",
+			p.Name, p.AI, p.GFLOPS, p.Source, m.Bound(p), 100*m.Efficiency(p))
+	}
+	return sb.String()
+}

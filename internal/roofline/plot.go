@@ -1,0 +1,141 @@
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCIIPlot renders the model as a log-log character plot, ceilings
+// drawn as lines and points as letter markers keyed in a legend.
+func (m *Model) ASCIIPlot(width, height int) string {
+	if width < 40 {
+		width = 40
+	}
+	if height < 12 {
+		height = 12
+	}
+	// Axis ranges (log10): AI from 1/64 to 64, GFLOPS auto.
+	minAI, maxAI := math.Log10(1.0/64), math.Log10(64.0)
+	maxG := m.PeakGFLOPS() * 2
+	if maxG <= 0 {
+		maxG = 1
+	}
+	for _, p := range m.Points {
+		if p.GFLOPS*2 > maxG {
+			maxG = p.GFLOPS * 2
+		}
+	}
+	minG := maxG / 1e4
+	lgMin, lgMax := math.Log10(minG), math.Log10(maxG)
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	toX := func(ai float64) int {
+		return int(float64(width-1) * (math.Log10(ai) - minAI) / (maxAI - minAI))
+	}
+	toY := func(g float64) int {
+		if g <= 0 {
+			return height - 1
+		}
+		y := int(float64(height-1) * (math.Log10(g) - lgMin) / (lgMax - lgMin))
+		return height - 1 - y
+	}
+	put := func(x, y int, c byte) {
+		if x >= 0 && x < width && y >= 0 && y < height {
+			grid[y][x] = c
+		}
+	}
+
+	// Draw the roofline: for each column, the attainable bound.
+	for x := 0; x < width; x++ {
+		ai := math.Pow(10, minAI+(maxAI-minAI)*float64(x)/float64(width-1))
+		put(x, toY(m.Attainable(ai)), '_')
+	}
+	// Points, labelled A, B, C...
+	var legend []string
+	for i, p := range m.Points {
+		marker := byte('A' + i%26)
+		put(toX(p.AI), toY(p.GFLOPS), marker)
+		legend = append(legend, fmt.Sprintf("  %c: %-24s AI=%-7.3f %8.2f GFLOP/s (%s)",
+			marker, p.Name, p.AI, p.GFLOPS, p.Source))
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — Roofline (log-log; x: FLOP/byte %.3f..%.0f, y: GFLOP/s %.3g..%.3g)\n",
+		m.Platform, math.Pow(10, minAI), math.Pow(10, maxAI), minG, maxG)
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	for _, l := range legend {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SVGPlot renders the model as an SVG chart.
+func (m *Model) SVGPlot(width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	const margin = 45
+	minAI, maxAI := math.Log10(1.0/64), math.Log10(64.0)
+	maxG := m.PeakGFLOPS() * 2
+	for _, p := range m.Points {
+		if p.GFLOPS*2 > maxG {
+			maxG = p.GFLOPS * 2
+		}
+	}
+	if maxG <= 0 {
+		maxG = 1
+	}
+	minG := maxG / 1e4
+	lgMin, lgMax := math.Log10(minG), math.Log10(maxG)
+	toX := func(ai float64) float64 {
+		return margin + float64(width-2*margin)*(math.Log10(ai)-minAI)/(maxAI-minAI)
+	}
+	toY := func(g float64) float64 {
+		if g < minG {
+			g = minG
+		}
+		return float64(height-margin) - float64(height-2*margin)*(math.Log10(g)-lgMin)/(lgMax-lgMin)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="16" font-size="13" font-family="sans-serif">%s — Roofline</text>`,
+		margin, m.Platform)
+	// Roofline polyline.
+	var pts []string
+	for x := 0; x <= 100; x++ {
+		ai := math.Pow(10, minAI+(maxAI-minAI)*float64(x)/100)
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", toX(ai), toY(m.Attainable(ai))))
+	}
+	fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="black" stroke-width="1.5"/>`,
+		strings.Join(pts, " "))
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="gray"/>`,
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="gray"/>`,
+		margin, margin, margin, height-margin)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="10" font-family="sans-serif">FLOP/byte (log)</text>`,
+		width/2-30, height-8)
+	// Points with distinct colors.
+	colors := []string{"#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400"}
+	for i, p := range m.Points {
+		c := colors[i%len(colors)]
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"><title>%s: AI=%.3f, %.2f GFLOP/s (%s)</title></circle>`,
+			toX(p.AI), toY(p.GFLOPS), c, p.Name, p.AI, p.GFLOPS, p.Source)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="9" font-family="sans-serif" fill="%s">%s</text>`,
+			toX(p.AI)+6, toY(p.GFLOPS)-4, c, p.Name)
+	}
+	sb.WriteString("</svg>")
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+package roofline
+
+import (
+	"fmt"
+
+	"mperf/internal/ir"
+	"mperf/internal/mperfrt"
+	"mperf/internal/vm"
+)
+
+// LoopResult is the two-phase measurement of one instrumented region.
+type LoopResult struct {
+	Meta ir.LoopMeta
+
+	// BaselineCycles is the region's cost with instrumentation off
+	// (phase 1) — the timing source.
+	BaselineCycles uint64
+	// InstrumentedCycles is the phase-2 cost, used only to quantify
+	// instrumentation overhead (§4.4).
+	InstrumentedCycles uint64
+
+	// Counts are the IR-level metrics from the instrumented clone.
+	Counts mperfrt.LoopStats
+
+	// Derived metrics (from baseline time + instrumented counts).
+	Seconds float64
+	GFLOPS  float64
+	GiBps   float64
+	AI      float64
+}
+
+// OverheadRatio reports instrumented/baseline time.
+func (r *LoopResult) OverheadRatio() float64 {
+	if r.BaselineCycles == 0 {
+		return 0
+	}
+	return float64(r.InstrumentedCycles) / float64(r.BaselineCycles)
+}
+
+// RunResult is the outcome of a two-phase session.
+type RunResult struct {
+	Loops []LoopResult
+}
+
+// LoopByFunc finds a loop result by the original function name.
+func (r *RunResult) LoopByFunc(name string) (*LoopResult, bool) {
+	for i := range r.Loops {
+		if r.Loops[i].Meta.FuncName == name {
+			return &r.Loops[i], true
+		}
+	}
+	return nil, false
+}
+
+// RunTwoPhase drives the paper's Fig 2 workflow on an instrumented
+// module: the workload runs once with instrumentation disabled
+// (baseline timing) and once enabled (metric collection); the results
+// are correlated per region. The workload must be deterministic across
+// runs — limitation four of §4.4.
+func RunTwoPhase(m *vm.Machine, entry string, args []uint64) (*RunResult, error) {
+	rt := mperfrt.New(func() uint64 { return m.Hart().Core.Cycles() })
+	m.SetRuntime(rt)
+
+	// Phase 1: baseline. Each phase starts with cold caches, as the
+	// separate process executions of the real workflow would.
+	m.Hart().Core.Mem().Reset()
+	rt.SetInstrumented(false)
+	if _, err := m.Run(entry, args...); err != nil {
+		return nil, fmt.Errorf("roofline: baseline run: %w", err)
+	}
+	baseline := make(map[int64]uint64)
+	invocations := make(map[int64]uint64)
+	for _, st := range rt.All() {
+		baseline[st.LoopID] = st.Cycles
+		invocations[st.LoopID] = st.Invocations
+	}
+
+	// Phase 2: instrumented.
+	m.Hart().Core.Mem().Reset()
+	rt.Reset()
+	rt.SetInstrumented(true)
+	if _, err := m.Run(entry, args...); err != nil {
+		return nil, fmt.Errorf("roofline: instrumented run: %w", err)
+	}
+
+	freq := m.FreqHz()
+	res := &RunResult{}
+	for _, st := range rt.All() {
+		meta, ok := m.Module().LoopMetaByID(st.LoopID)
+		if !ok {
+			continue
+		}
+		base, sawBaseline := baseline[st.LoopID]
+		if !sawBaseline {
+			// Region not reached in phase 1: non-deterministic control
+			// flow; report it rather than fabricate a time.
+			return nil, fmt.Errorf("roofline: region %d (%s) ran only in phase 2; workload not deterministic",
+				st.LoopID, meta.FuncName)
+		}
+		lr := LoopResult{
+			Meta:               meta,
+			BaselineCycles:     base,
+			InstrumentedCycles: st.Cycles,
+			Counts:             *st,
+			Seconds:            float64(base) / freq,
+		}
+		if lr.Seconds > 0 {
+			lr.GFLOPS = float64(st.FPOps) / lr.Seconds / 1e9
+			lr.GiBps = float64(st.Bytes()) / lr.Seconds / (1 << 30)
+		}
+		lr.AI = st.ArithmeticIntensity()
+		res.Loops = append(res.Loops, lr)
+	}
+	return res, nil
+}
+
+// Points converts loop results to model points labelled with the
+// miniperf methodology.
+func (r *RunResult) Points() []Point {
+	out := make([]Point, 0, len(r.Loops))
+	for _, l := range r.Loops {
+		name := l.Meta.FuncName
+		if l.Meta.Header != "" {
+			name = fmt.Sprintf("%s:%s", l.Meta.FuncName, l.Meta.Header)
+		}
+		out = append(out, Point{Name: name, AI: l.AI, GFLOPS: l.GFLOPS, Source: "miniperf (IR)"})
+	}
+	return out
+}

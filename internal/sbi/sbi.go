@@ -1,0 +1,277 @@
+// Package sbi models the machine-mode firmware side of RISC-V
+// performance monitoring: the SBI PMU extension that Linux uses to
+// program counters it cannot touch from supervisor mode (Figure 1 of
+// the paper). The kernel layer calls these functions where real Linux
+// would execute an ecall into OpenSBI.
+package sbi
+
+import (
+	"fmt"
+
+	"mperf/internal/isa"
+	"mperf/internal/pmu"
+)
+
+// Errno mirrors the SBI specification's error codes (negative values).
+type Errno int
+
+// SBI error codes.
+const (
+	OK               Errno = 0
+	ErrFailed        Errno = -1
+	ErrNotSupported  Errno = -2
+	ErrInvalidParam  Errno = -3
+	ErrDenied        Errno = -4
+	ErrInvalidAddr   Errno = -5
+	ErrAlreadyAvail  Errno = -6
+	ErrAlreadyStart  Errno = -7
+	ErrAlreadyStop   Errno = -8
+	ErrNoCounterFree Errno = -9 // extension-specific: no matching counter
+)
+
+// String renders the code as the SBI spec names it.
+func (e Errno) String() string {
+	switch e {
+	case OK:
+		return "SBI_SUCCESS"
+	case ErrFailed:
+		return "SBI_ERR_FAILED"
+	case ErrNotSupported:
+		return "SBI_ERR_NOT_SUPPORTED"
+	case ErrInvalidParam:
+		return "SBI_ERR_INVALID_PARAM"
+	case ErrDenied:
+		return "SBI_ERR_DENIED"
+	case ErrInvalidAddr:
+		return "SBI_ERR_INVALID_ADDRESS"
+	case ErrAlreadyAvail:
+		return "SBI_ERR_ALREADY_AVAILABLE"
+	case ErrAlreadyStart:
+		return "SBI_ERR_ALREADY_STARTED"
+	case ErrAlreadyStop:
+		return "SBI_ERR_ALREADY_STOPPED"
+	case ErrNoCounterFree:
+		return "SBI_ERR_NO_COUNTER"
+	}
+	return fmt.Sprintf("Errno(%d)", int(e))
+}
+
+// Error implements the error interface for non-OK codes.
+func (e Errno) Error() string { return e.String() }
+
+// ConfigFlags modify CounterConfigMatching, mirroring
+// SBI_PMU_CFG_FLAG_*.
+type ConfigFlags uint64
+
+// Configuration flags.
+const (
+	CfgSkipMatch  ConfigFlags = 1 << 0 // reuse idx encoded in the mask (unused here)
+	CfgClearValue ConfigFlags = 1 << 1 // zero the counter while configuring
+	CfgAutoStart  ConfigFlags = 1 << 2 // start counting immediately
+)
+
+// CounterInfo describes one counter to the kernel, mirroring
+// sbi_pmu_counter_get_info.
+type CounterInfo struct {
+	CSR   isa.CSR // CSR number for direct supervisor reads
+	Width uint    // implemented bits
+	Fixed bool    // fixed-function (cycle/instret) vs programmable
+}
+
+// Firmware is the machine-mode PMU proxy for one hart.
+type Firmware struct {
+	p *pmu.PMU
+
+	// allocated marks counters handed out via CounterConfigMatching so
+	// two perf events do not share one hardware counter.
+	allocated map[int]bool
+
+	// supervisorHandler receives delegated overflow interrupts
+	// (modelling the Sscofpmf local interrupt path into the kernel).
+	supervisorHandler func(counter int)
+
+	// counterEnabledForS models mcounteren: which counters the kernel
+	// may read directly without an SBI round trip.
+	counterEnabledForS uint64
+}
+
+// New wires the firmware to a PMU and claims its overflow handler.
+func New(p *pmu.PMU) *Firmware {
+	f := &Firmware{p: p, allocated: make(map[int]bool)}
+	p.SetOverflowHandler(f.forwardOverflow)
+	return f
+}
+
+// PMU exposes the underlying device (tests and the platform layer use
+// this; the kernel goes through the SBI surface).
+func (f *Firmware) PMU() *pmu.PMU { return f.p }
+
+// SetSupervisorIRQHandler registers the kernel's overflow interrupt
+// handler. Firmware forwards machine-mode PMU interrupts to it.
+func (f *Firmware) SetSupervisorIRQHandler(h func(counter int)) {
+	f.supervisorHandler = h
+}
+
+func (f *Firmware) forwardOverflow(counter int) {
+	if f.supervisorHandler != nil {
+		f.supervisorHandler(counter)
+	}
+}
+
+// NumCounters returns the size of the hart's counter file.
+func (f *Firmware) NumCounters() int { return f.p.NumCounters() }
+
+// CounterGetInfo describes counter idx.
+func (f *Firmware) CounterGetInfo(idx int) (CounterInfo, Errno) {
+	n := f.p.NumCounters()
+	if idx < 0 || idx >= n || idx == 1 {
+		return CounterInfo{}, ErrInvalidParam
+	}
+	info := CounterInfo{Width: f.p.Spec().CounterWidthBits}
+	switch idx {
+	case pmu.CounterCycle:
+		info.CSR = isa.CSRMCycle
+		info.Fixed = true
+	case pmu.CounterInstret:
+		info.CSR = isa.CSRMInstret
+		info.Fixed = true
+	default:
+		info.CSR = isa.MHPMCounterCSR(idx)
+	}
+	return info, OK
+}
+
+// CounterConfigMatching finds a free counter able to observe the event,
+// configures it, and returns its index. The mask restricts which
+// counter indices may be considered (bit i = counter i eligible).
+func (f *Firmware) CounterConfigMatching(mask uint64, code isa.EventCode, flags ConfigFlags) (int, Errno) {
+	if _, ok := f.p.Spec().Resolve(code); !ok {
+		return 0, ErrNotSupported
+	}
+	// Fixed counters first: cycles and instret have dedicated hardware.
+	if code == isa.EventCycles && f.eligible(pmu.CounterCycle, mask) {
+		return f.take(pmu.CounterCycle, code, flags)
+	}
+	if code == isa.EventInstructions && f.eligible(pmu.CounterInstret, mask) {
+		return f.take(pmu.CounterInstret, code, flags)
+	}
+	for idx := pmu.FirstHPM; idx < f.p.NumCounters(); idx++ {
+		if f.eligible(idx, mask) {
+			return f.take(idx, code, flags)
+		}
+	}
+	return 0, ErrNoCounterFree
+}
+
+func (f *Firmware) eligible(idx int, mask uint64) bool {
+	return mask&(1<<uint(idx)) != 0 && !f.allocated[idx]
+}
+
+func (f *Firmware) take(idx int, code isa.EventCode, flags ConfigFlags) (int, Errno) {
+	if err := f.p.Configure(idx, code); err != nil {
+		return 0, ErrNotSupported
+	}
+	f.allocated[idx] = true
+	if flags&CfgClearValue != 0 {
+		if err := f.p.Start(idx, 0, true); err != nil {
+			return 0, ErrFailed
+		}
+		if flags&CfgAutoStart == 0 {
+			f.p.Stop(idx)
+		}
+	} else if flags&CfgAutoStart != 0 {
+		if err := f.p.Start(idx, 0, false); err != nil {
+			return 0, ErrFailed
+		}
+	}
+	return idx, OK
+}
+
+// CounterStart begins counting; with setValue the counter is seeded
+// (the kernel seeds 2^width-period to get an interrupt after period
+// counts on real hardware; our PMU takes the period separately via
+// CounterArm, keeping the interface honest without two's-complement
+// gymnastics).
+func (f *Firmware) CounterStart(idx int, value uint64, setValue bool) Errno {
+	if !f.allocated[idx] {
+		return ErrInvalidParam
+	}
+	if err := f.p.Start(idx, value, setValue); err != nil {
+		return ErrFailed
+	}
+	return OK
+}
+
+// CounterStop halts counting on idx.
+func (f *Firmware) CounterStop(idx int) Errno {
+	if !f.allocated[idx] {
+		return ErrInvalidParam
+	}
+	if err := f.p.Stop(idx); err != nil {
+		return ErrFailed
+	}
+	return OK
+}
+
+// CounterArm enables overflow interrupts with the given period.
+// Returns ErrNotSupported when the platform cannot sample the
+// counter's event — the X60 defect surfaces to the kernel here.
+func (f *Firmware) CounterArm(idx int, period uint64) Errno {
+	if !f.allocated[idx] {
+		return ErrInvalidParam
+	}
+	if err := f.p.Arm(idx, period); err != nil {
+		return ErrNotSupported
+	}
+	return OK
+}
+
+// CounterDisarm disables overflow interrupts on idx.
+func (f *Firmware) CounterDisarm(idx int) Errno {
+	if !f.allocated[idx] {
+		return ErrInvalidParam
+	}
+	if err := f.p.Disarm(idx); err != nil {
+		return ErrFailed
+	}
+	return OK
+}
+
+// CounterRead returns the current counter value.
+func (f *Firmware) CounterRead(idx int) (uint64, Errno) {
+	v, err := f.p.Read(idx)
+	if err != nil {
+		return 0, ErrInvalidParam
+	}
+	return v, OK
+}
+
+// CounterRelease returns a counter to the free pool.
+func (f *Firmware) CounterRelease(idx int) Errno {
+	if !f.allocated[idx] {
+		return ErrInvalidParam
+	}
+	f.p.Disarm(idx)
+	f.p.Stop(idx)
+	delete(f.allocated, idx)
+	return OK
+}
+
+// EnableSupervisorAccess sets mcounteren bits so the kernel can read
+// the counters directly (the overhead optimization §3.2 describes).
+func (f *Firmware) EnableSupervisorAccess(mask uint64) {
+	f.counterEnabledForS |= mask
+}
+
+// SupervisorCanRead reports whether the kernel may read counter idx
+// without an SBI call.
+func (f *Firmware) SupervisorCanRead(idx int) bool {
+	return f.counterEnabledForS&(1<<uint(idx)) != 0
+}
+
+// CanSample reports whether the platform can deliver overflow
+// interrupts for the event (used by the kernel to fail
+// perf_event_open with EOPNOTSUPP before allocating anything).
+func (f *Firmware) CanSample(code isa.EventCode) bool {
+	return f.p.Spec().CanSample(code)
+}

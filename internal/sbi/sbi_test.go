@@ -1,0 +1,216 @@
+package sbi
+
+import (
+	"testing"
+
+	"mperf/internal/isa"
+	"mperf/internal/machine"
+	"mperf/internal/pmu"
+)
+
+func x60Firmware() *Firmware {
+	spec := pmu.Spec{
+		CounterWidthBits: 64,
+		NumProgrammable:  4,
+		Events: map[isa.EventCode]isa.Signal{
+			isa.EventCycles:       isa.SigCycle,
+			isa.EventInstructions: isa.SigInstret,
+			isa.EventCacheMisses:  isa.SigL1DMiss,
+		},
+		RawEvents: map[uint32]isa.Signal{
+			isa.X60EventUModeCycle: isa.SigUModeCycle,
+		},
+		Overflow: pmu.OverflowLimited,
+		SamplingEvents: map[isa.EventCode]bool{
+			isa.RawEvent(isa.X60EventUModeCycle): true,
+		},
+	}
+	return New(pmu.New(spec))
+}
+
+func allMask() uint64 { return ^uint64(0) }
+
+func tick(f *Firmware, sig isa.Signal, n uint64) {
+	b := &machine.DeltaBatch{}
+	b.Add(sig, n)
+	f.PMU().Apply(b)
+}
+
+func TestErrnoStrings(t *testing.T) {
+	if OK.String() != "SBI_SUCCESS" {
+		t.Error("OK string wrong")
+	}
+	if ErrNotSupported.Error() != "SBI_ERR_NOT_SUPPORTED" {
+		t.Error("ErrNotSupported string wrong")
+	}
+}
+
+func TestConfigMatchingPrefersFixedCounters(t *testing.T) {
+	f := x60Firmware()
+	idx, errno := f.CounterConfigMatching(allMask(), isa.EventCycles, CfgClearValue|CfgAutoStart)
+	if errno != OK {
+		t.Fatalf("config matching failed: %v", errno)
+	}
+	if idx != pmu.CounterCycle {
+		t.Errorf("cycles allocated counter %d, want fixed %d", idx, pmu.CounterCycle)
+	}
+	idx, errno = f.CounterConfigMatching(allMask(), isa.EventInstructions, CfgClearValue|CfgAutoStart)
+	if errno != OK || idx != pmu.CounterInstret {
+		t.Errorf("instructions allocated counter %d (%v), want fixed %d",
+			idx, errno, pmu.CounterInstret)
+	}
+}
+
+func TestConfigMatchingProgrammable(t *testing.T) {
+	f := x60Firmware()
+	idx, errno := f.CounterConfigMatching(allMask(), isa.RawEvent(isa.X60EventUModeCycle),
+		CfgClearValue|CfgAutoStart)
+	if errno != OK {
+		t.Fatalf("config matching failed: %v", errno)
+	}
+	if idx < pmu.FirstHPM {
+		t.Errorf("raw event landed on fixed counter %d", idx)
+	}
+	tick(f, isa.SigUModeCycle, 9)
+	if v, _ := f.CounterRead(idx); v != 9 {
+		t.Errorf("counter reads %d, want 9", v)
+	}
+}
+
+func TestConfigMatchingExhaustsCounters(t *testing.T) {
+	f := x60Firmware()
+	for i := 0; i < 4; i++ {
+		if _, errno := f.CounterConfigMatching(allMask(), isa.EventCacheMisses, 0); errno != OK {
+			t.Fatalf("allocation %d failed: %v", i, errno)
+		}
+	}
+	if _, errno := f.CounterConfigMatching(allMask(), isa.EventCacheMisses, 0); errno != ErrNoCounterFree {
+		t.Errorf("exhausted pool returned %v, want %v", errno, ErrNoCounterFree)
+	}
+}
+
+func TestConfigMatchingRespectsMask(t *testing.T) {
+	f := x60Firmware()
+	// Only allow counter 4.
+	idx, errno := f.CounterConfigMatching(1<<4, isa.EventCacheMisses, 0)
+	if errno != OK || idx != 4 {
+		t.Errorf("masked allocation = %d (%v), want counter 4", idx, errno)
+	}
+}
+
+func TestConfigMatchingUnsupportedEvent(t *testing.T) {
+	f := x60Firmware()
+	if _, errno := f.CounterConfigMatching(allMask(), isa.EventBranchMisses, 0); errno != ErrNotSupported {
+		t.Errorf("unsupported event returned %v, want %v", errno, ErrNotSupported)
+	}
+}
+
+func TestCounterLifecycle(t *testing.T) {
+	f := x60Firmware()
+	idx, _ := f.CounterConfigMatching(allMask(), isa.EventCycles, CfgClearValue)
+	if f.PMU().Running(idx) {
+		t.Error("counter running before CounterStart")
+	}
+	if errno := f.CounterStart(idx, 0, false); errno != OK {
+		t.Fatalf("start: %v", errno)
+	}
+	tick(f, isa.SigCycle, 5)
+	if errno := f.CounterStop(idx); errno != OK {
+		t.Fatalf("stop: %v", errno)
+	}
+	tick(f, isa.SigCycle, 5)
+	if v, _ := f.CounterRead(idx); v != 5 {
+		t.Errorf("counter = %d, want 5", v)
+	}
+	if errno := f.CounterRelease(idx); errno != OK {
+		t.Fatalf("release: %v", errno)
+	}
+	// Released counters can be re-allocated.
+	if _, errno := f.CounterConfigMatching(1<<uint(idx), isa.EventCycles, 0); errno != OK {
+		t.Errorf("re-allocation after release failed: %v", errno)
+	}
+}
+
+func TestOperationsOnUnallocatedCounter(t *testing.T) {
+	f := x60Firmware()
+	if errno := f.CounterStart(3, 0, false); errno != ErrInvalidParam {
+		t.Errorf("start unallocated: %v, want %v", errno, ErrInvalidParam)
+	}
+	if errno := f.CounterStop(3); errno != ErrInvalidParam {
+		t.Errorf("stop unallocated: %v, want %v", errno, ErrInvalidParam)
+	}
+	if errno := f.CounterArm(3, 100); errno != ErrInvalidParam {
+		t.Errorf("arm unallocated: %v, want %v", errno, ErrInvalidParam)
+	}
+	if errno := f.CounterRelease(3); errno != ErrInvalidParam {
+		t.Errorf("release unallocated: %v, want %v", errno, ErrInvalidParam)
+	}
+}
+
+func TestArmDeliversSupervisorIRQ(t *testing.T) {
+	f := x60Firmware()
+	var got []int
+	f.SetSupervisorIRQHandler(func(c int) { got = append(got, c) })
+	idx, _ := f.CounterConfigMatching(allMask(), isa.RawEvent(isa.X60EventUModeCycle),
+		CfgClearValue|CfgAutoStart)
+	if errno := f.CounterArm(idx, 100); errno != OK {
+		t.Fatalf("arm: %v", errno)
+	}
+	tick(f, isa.SigUModeCycle, 250)
+	if len(got) != 2 {
+		t.Fatalf("got %d IRQs, want 2", len(got))
+	}
+	if got[0] != idx {
+		t.Errorf("IRQ for counter %d, want %d", got[0], idx)
+	}
+}
+
+func TestArmQuirkSurfacesAsNotSupported(t *testing.T) {
+	f := x60Firmware()
+	idx, _ := f.CounterConfigMatching(allMask(), isa.EventCycles, CfgClearValue|CfgAutoStart)
+	if errno := f.CounterArm(idx, 100); errno != ErrNotSupported {
+		t.Errorf("arming cycles on X60 returned %v, want %v", errno, ErrNotSupported)
+	}
+}
+
+func TestCanSample(t *testing.T) {
+	f := x60Firmware()
+	if f.CanSample(isa.EventCycles) {
+		t.Error("X60 firmware claims cycles can sample")
+	}
+	if !f.CanSample(isa.RawEvent(isa.X60EventUModeCycle)) {
+		t.Error("X60 firmware denies u_mode_cycle sampling")
+	}
+}
+
+func TestCounterGetInfo(t *testing.T) {
+	f := x60Firmware()
+	info, errno := f.CounterGetInfo(pmu.CounterCycle)
+	if errno != OK || !info.Fixed || info.CSR != isa.CSRMCycle {
+		t.Errorf("cycle info = %+v (%v)", info, errno)
+	}
+	info, errno = f.CounterGetInfo(3)
+	if errno != OK || info.Fixed || info.CSR != isa.MHPMCounterCSR(3) {
+		t.Errorf("hpm3 info = %+v (%v)", info, errno)
+	}
+	if _, errno := f.CounterGetInfo(1); errno != ErrInvalidParam {
+		t.Error("time slot must be invalid")
+	}
+	if _, errno := f.CounterGetInfo(99); errno != ErrInvalidParam {
+		t.Error("out-of-range index must be invalid")
+	}
+}
+
+func TestSupervisorAccessDelegation(t *testing.T) {
+	f := x60Firmware()
+	if f.SupervisorCanRead(pmu.CounterCycle) {
+		t.Error("no delegation expected initially")
+	}
+	f.EnableSupervisorAccess(1 << pmu.CounterCycle)
+	if !f.SupervisorCanRead(pmu.CounterCycle) {
+		t.Error("delegation did not take effect")
+	}
+	if f.SupervisorCanRead(pmu.CounterInstret) {
+		t.Error("delegation leaked to other counters")
+	}
+}

@@ -1,0 +1,139 @@
+package tma
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mperf/internal/ir"
+	"mperf/internal/platform"
+	"mperf/internal/vm"
+	"mperf/internal/workloads"
+)
+
+func TestFromCountsBasic(t *testing.T) {
+	// 1000 cycles at width 2 = 2000 slots; 800 instructions retired,
+	// 10 mispredicts at 7-cycle penalty, 300 stall cycles.
+	b, err := FromCounts(1000, 800, 10, 300, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Retiring-0.4) > 1e-9 {
+		t.Errorf("retiring = %f, want 0.4", b.Retiring)
+	}
+	if math.Abs(b.BadSpeculation-0.07) > 1e-9 {
+		t.Errorf("bad speculation = %f, want 0.07", b.BadSpeculation)
+	}
+	if math.Abs(b.BackendBound-0.3) > 1e-9 {
+		t.Errorf("backend = %f, want 0.3", b.BackendBound)
+	}
+	if math.Abs(b.FrontendBound-0.23) > 1e-9 {
+		t.Errorf("frontend = %f, want 0.23", b.FrontendBound)
+	}
+}
+
+func TestFromCountsErrors(t *testing.T) {
+	if _, err := FromCounts(0, 1, 1, 1, 2, 7); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if _, err := FromCounts(10, 1, 1, 1, 0, 7); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestFractionsSumToOneProperty(t *testing.T) {
+	if err := quick.Check(func(cyc, ins, bm, st uint32, w uint8) bool {
+		cycles := uint64(cyc%1_000_000) + 1
+		width := int(w%4) + 1
+		b, err := FromCounts(cycles, uint64(ins), uint64(bm%1000), uint64(st), width, 7)
+		if err != nil {
+			return false
+		}
+		sum := b.Retiring + b.BadSpeculation + b.FrontendBound + b.BackendBound
+		return math.Abs(sum-1) < 1e-6 &&
+			b.Retiring >= 0 && b.BadSpeculation >= 0 &&
+			b.FrontendBound >= 0 && b.BackendBound >= 0
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupported(t *testing.T) {
+	for _, p := range platform.Catalog() {
+		if err := Supported(p); err != nil {
+			t.Errorf("%s should expose the level-1 event set in this model: %v", p.Name, err)
+		}
+	}
+	// A crippled spec must be rejected.
+	p := platform.X60()
+	delete(p.PMUSpec.Events, 6) // EventStalledCycles
+	if err := Supported(p); err == nil {
+		t.Error("missing stalled-cycles event not detected")
+	}
+}
+
+func TestMeasureInterpreterOnX60(t *testing.T) {
+	// The sqlite interpreter on the in-order X60 must come out
+	// dominated by stalls/speculation, not by retiring — the diagnosis
+	// TMA exists to automate.
+	cfg := workloads.SqliteConfig{ProgLen: 64, Rows: 60, Queries: 2,
+		CellArea: 2048, TextArea: 2048, PatLen: 6}
+	mod := ir.NewModule("sq")
+	if _, err := workloads.BuildSqliteSim(mod, cfg); err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(platform.X60(), mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workloads.SeedSqlite(m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(m, func() error {
+		_, err := workloads.RunSqlite(m, cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dominant() == "Retiring" {
+		t.Errorf("interpreter on in-order core diagnosed as Retiring-dominated: %+v", b)
+	}
+	if b.Retiring < 0.2 || b.Retiring > 0.7 {
+		t.Errorf("retiring fraction %.2f implausible for IPC≈0.9 at width 2", b.Retiring)
+	}
+	if b.BadSpeculation <= 0 {
+		t.Error("indirect-dispatch workload must show bad speculation")
+	}
+	out := b.String()
+	if !strings.Contains(out, "dominant") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestMeasureMatmulBackendBound(t *testing.T) {
+	// The scalar matmul is dependency/memory-stall bound on the X60.
+	const n, tile = 32, 8
+	mod := ir.NewModule("mm")
+	if _, err := workloads.BuildMatmul(mod, n, tile); err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(platform.X60(), mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workloads.SeedMatmul(m, n); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(m, func() error { return workloads.RunMatmul(m, n) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BackendBound < 0.15 {
+		t.Errorf("matmul backend-bound fraction %.2f suspiciously low: %+v", b.BackendBound, b)
+	}
+	if b.BadSpeculation > b.BackendBound {
+		t.Errorf("matmul should not be speculation-dominated: %+v", b)
+	}
+}

@@ -1,0 +1,568 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"mperf/internal/ir"
+	"mperf/internal/isa"
+	"mperf/internal/kernel"
+	"mperf/internal/machine"
+	"mperf/internal/platform"
+)
+
+// Compile-time check: the Machine is a valid kernel execution context.
+var _ kernel.CPU = (*Machine)(nil)
+
+// Runtime receives the instrumentation intrinsic calls (the mperf.*
+// declarations inserted by the passes package). The mperfrt package
+// provides the standard implementation.
+type Runtime interface {
+	// LoopBegin is called when control reaches an instrumented region;
+	// it returns the handle passed to the other callbacks.
+	LoopBegin(loopID int64) int64
+	// LoopEnd closes the region.
+	LoopEnd(handle int64)
+	// IsInstrumented selects between the baseline and instrumented
+	// versions at the dispatch site.
+	IsInstrumented() bool
+	// Count accumulates one basic block's static cost into the handle.
+	Count(handle, bytesLoaded, bytesStored, intOps, fpOps int64)
+}
+
+// trap is the interpreter's internal error signal; Run converts it to
+// an error.
+type trap struct{ msg string }
+
+func (t trap) Error() string { return "vm: " + t.msg }
+
+func trapf(format string, args ...interface{}) {
+	panic(trap{fmt.Sprintf(format, args...)})
+}
+
+// frame is one activation record.
+type frame struct {
+	fp        *funcPlan
+	regs      []uint64
+	vregs     [][]uint64
+	salt      uint32
+	stackSave uint64
+	curPC     uint64
+}
+
+// symbol maps a synthetic address range to a function name.
+type symbol struct {
+	base, end uint64
+	name      string
+}
+
+// Memory layout constants.
+const (
+	memBase        = 0x1000 // null guard below
+	stackSize      = 16 << 20
+	maxCallDepth   = 512
+	defaultMaxStep = 1 << 62
+)
+
+// Machine is a loaded module bound to a simulated platform: the
+// analogue of a compiled binary running on one hart with its kernel.
+type Machine struct {
+	plat *platform.Platform
+	mod  *ir.Module
+	hart *platform.Hart
+	kern *kernel.Subsystem
+	rt   Runtime
+
+	mem        []byte
+	globalAddr map[string]uint64
+	plans      map[*ir.Func]*funcPlan
+	symbols    []symbol
+
+	stackBase uint64
+	stackTop  uint64
+
+	frames   []*frame
+	frameSeq uint32
+
+	// MaxSteps bounds interpreted instructions (runaway guard).
+	MaxSteps uint64
+	steps    uint64
+
+	vlenBytes int
+	uop       machine.Uop
+}
+
+// New loads a verified module onto a fresh hart of the platform.
+func New(p *platform.Platform, mod *ir.Module) (*Machine, error) {
+	if err := ir.Verify(mod); err != nil {
+		return nil, fmt.Errorf("vm: module does not verify: %w", err)
+	}
+	m := &Machine{
+		plat:       p,
+		mod:        mod,
+		hart:       p.NewHart(),
+		globalAddr: make(map[string]uint64),
+		plans:      make(map[*ir.Func]*funcPlan),
+		MaxSteps:   defaultMaxStep,
+		vlenBytes:  p.Core.VectorLanes32 * 4,
+	}
+	m.kern = kernel.New(m.hart.Firmware, m)
+
+	// Lay out globals then the alloca stack.
+	addr := uint64(memBase)
+	for _, g := range mod.Globals {
+		addr = align(addr, 64)
+		m.globalAddr[g.GName] = addr
+		addr += uint64(g.SizeBytes())
+	}
+	m.stackBase = align(addr, 64)
+	m.stackTop = m.stackBase
+	m.mem = make([]byte, m.stackBase+stackSize)
+
+	pl := &planner{m: m, plans: m.plans, nextBase: 0x400000}
+	if err := pl.planModule(mod); err != nil {
+		return nil, err
+	}
+	for f, fp := range m.plans {
+		m.symbols = append(m.symbols, symbol{base: fp.base, end: fp.base + fp.size, name: f.FName})
+	}
+	sort.Slice(m.symbols, func(i, j int) bool { return m.symbols[i].base < m.symbols[j].base })
+	return m, nil
+}
+
+func align(a, to uint64) uint64 { return (a + to - 1) &^ (to - 1) }
+
+// Platform returns the platform the machine simulates.
+func (m *Machine) Platform() *platform.Platform { return m.plat }
+
+// Hart returns the underlying hardware stack.
+func (m *Machine) Hart() *platform.Hart { return m.hart }
+
+// Kernel returns the perf_event subsystem bound to this machine.
+func (m *Machine) Kernel() *kernel.Subsystem { return m.kern }
+
+// Module returns the loaded module.
+func (m *Machine) Module() *ir.Module { return m.mod }
+
+// SetRuntime installs the instrumentation runtime.
+func (m *Machine) SetRuntime(rt Runtime) { m.rt = rt }
+
+// Steps returns the number of interpreted IR instructions so far.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// --- kernel.CPU interface ---
+
+// PC returns the current synthetic program counter.
+func (m *Machine) PC() uint64 { return m.hart.Core.PC() }
+
+// Callchain fills buf leaf-first with the virtual call stack.
+func (m *Machine) Callchain(buf []uint64) int {
+	n := 0
+	for i := len(m.frames) - 1; i >= 0 && n < len(buf); i-- {
+		buf[n] = m.frames[i].curPC
+		n++
+	}
+	return n
+}
+
+// Priv returns the hart's privilege mode.
+func (m *Machine) Priv() isa.PrivMode { return m.hart.Core.Priv() }
+
+// Cycles returns the hart's cycle counter.
+func (m *Machine) Cycles() uint64 { return m.hart.Core.Cycles() }
+
+// FreqHz returns the core frequency.
+func (m *Machine) FreqHz() float64 { return m.plat.Core.FreqHz }
+
+// --- symbolization ---
+
+// Symbolize maps a sampled address to the containing function.
+func (m *Machine) Symbolize(addr uint64) (string, bool) {
+	i := sort.Search(len(m.symbols), func(i int) bool { return m.symbols[i].end > addr })
+	if i < len(m.symbols) && addr >= m.symbols[i].base {
+		return m.symbols[i].name, true
+	}
+	return "", false
+}
+
+// GlobalAddr returns the load address of a global.
+func (m *Machine) GlobalAddr(name string) (uint64, error) {
+	a, ok := m.globalAddr[name]
+	if !ok {
+		return 0, fmt.Errorf("vm: no global @%s", name)
+	}
+	return a, nil
+}
+
+// --- host access to simulated memory (for workload setup/checks) ---
+
+func (m *Machine) check(addr uint64, size int) error {
+	if addr < memBase || addr+uint64(size) > uint64(len(m.mem)) {
+		return fmt.Errorf("vm: address %#x (+%d) out of range", addr, size)
+	}
+	return nil
+}
+
+// WriteF32 stores a float32 at addr.
+func (m *Machine) WriteF32(addr uint64, v float32) error {
+	if err := m.check(addr, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(m.mem[addr:], math.Float32bits(v))
+	return nil
+}
+
+// ReadF32 loads a float32 from addr.
+func (m *Machine) ReadF32(addr uint64) (float32, error) {
+	if err := m.check(addr, 4); err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(m.mem[addr:])), nil
+}
+
+// WriteF64 stores a float64 at addr.
+func (m *Machine) WriteF64(addr uint64, v float64) error {
+	if err := m.check(addr, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(m.mem[addr:], math.Float64bits(v))
+	return nil
+}
+
+// ReadF64 loads a float64 from addr.
+func (m *Machine) ReadF64(addr uint64) (float64, error) {
+	if err := m.check(addr, 8); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.mem[addr:])), nil
+}
+
+// WriteU64 stores a uint64 at addr.
+func (m *Machine) WriteU64(addr uint64, v uint64) error {
+	if err := m.check(addr, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(m.mem[addr:], v)
+	return nil
+}
+
+// ReadU64 loads a uint64 from addr.
+func (m *Machine) ReadU64(addr uint64) (uint64, error) {
+	if err := m.check(addr, 8); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(m.mem[addr:]), nil
+}
+
+// StoreByte stores one byte at addr.
+func (m *Machine) StoreByte(addr uint64, v byte) error {
+	if err := m.check(addr, 1); err != nil {
+		return err
+	}
+	m.mem[addr] = v
+	return nil
+}
+
+// LoadByte loads one byte from addr.
+func (m *Machine) LoadByte(addr uint64) (byte, error) {
+	if err := m.check(addr, 1); err != nil {
+		return 0, err
+	}
+	return m.mem[addr], nil
+}
+
+// --- execution ---
+
+// Run executes the named function with raw-bits scalar arguments and
+// returns the raw-bits result.
+func (m *Machine) Run(name string, args ...uint64) (result uint64, err error) {
+	f := m.mod.FuncByName(name)
+	if f == nil {
+		return 0, fmt.Errorf("vm: no function @%s", name)
+	}
+	fp, ok := m.plans[f]
+	if !ok {
+		return 0, fmt.Errorf("vm: function @%s not planned", name)
+	}
+	if len(f.Params) != len(args) {
+		return 0, fmt.Errorf("vm: @%s takes %d args, got %d", name, len(f.Params), len(args))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(trap); ok {
+				err = t
+				return
+			}
+			panic(r)
+		}
+	}()
+	res, _ := m.call(fp, args)
+	return res, nil
+}
+
+// call executes one function activation.
+func (m *Machine) call(fp *funcPlan, args []uint64) (uint64, []uint64) {
+	if fp.intrinsic != "" {
+		return m.intrinsicCall(fp.intrinsic, args), nil
+	}
+	if len(m.frames) >= maxCallDepth {
+		trapf("call depth exceeded in @%s", fp.fn.FName)
+	}
+	m.frameSeq++
+	fr := &frame{
+		fp:        fp,
+		regs:      make([]uint64, fp.numRegs),
+		vregs:     make([][]uint64, fp.numRegs),
+		salt:      m.frameSeq * 251,
+		stackSave: m.stackTop,
+		curPC:     fp.base,
+	}
+	copy(fr.regs, args)
+	m.frames = append(m.frames, fr)
+	defer func() {
+		m.frames = m.frames[:len(m.frames)-1]
+		m.stackTop = fr.stackSave
+	}()
+
+	core := m.hart.Core
+	bp := fp.entry
+	prev := -1 // previous block index for phi moves
+	_ = prev
+
+	for {
+		steps := bp.steps
+		for i := range steps {
+			st := &steps[i]
+			m.steps++
+			if m.steps > m.MaxSteps {
+				trapf("step budget exceeded (%d)", m.MaxSteps)
+			}
+			core.SetPC(bp.pc)
+			fr.curPC = bp.pc
+
+			switch st.in.Op {
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
+				ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
+				m.execIntBinary(fr, st)
+			case ir.OpICmp:
+				m.execICmp(fr, st)
+			case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+				m.execFPBinary(fr, st)
+			case ir.OpFMA:
+				m.execFMA(fr, st)
+			case ir.OpFCmp:
+				m.execFCmp(fr, st)
+			case ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpSIToFP, ir.OpFPToSI,
+				ir.OpFPExt, ir.OpFPTrunc:
+				m.execConvert(fr, st)
+			case ir.OpSplat:
+				m.checkVector(st.in.Ty)
+				lanes := st.in.Ty.Lanes
+				v := make([]uint64, lanes)
+				s := m.scalar(fr, &st.args[0])
+				for l := range v {
+					v[l] = s
+				}
+				fr.vregs[st.dst] = v
+				m.emit(fr, st, 0, false, 0)
+			case ir.OpExtract:
+				vec := m.vector(fr, &st.args[0])
+				fr.regs[st.dst] = vec[st.in.Lane]
+				m.emit(fr, st, 0, false, 0)
+			case ir.OpReduce:
+				m.execReduce(fr, st)
+			case ir.OpAlloca:
+				size := uint64(st.in.Scale) * m.scalar(fr, &st.args[0])
+				m.stackTop = align(m.stackTop, 16)
+				addr := m.stackTop
+				m.stackTop += size
+				if m.stackTop > uint64(len(m.mem)) {
+					trapf("stack overflow in @%s", fp.fn.FName)
+				}
+				fr.regs[st.dst] = addr
+				m.emit(fr, st, 0, false, 0)
+			case ir.OpLoad:
+				m.execLoad(fr, st)
+			case ir.OpStore:
+				m.execStore(fr, st)
+			case ir.OpGEP:
+				base := m.scalar(fr, &st.args[0])
+				idx := int64(m.scalar(fr, &st.args[1]))
+				fr.regs[st.dst] = uint64(int64(base) + idx*st.in.Scale)
+				m.emit(fr, st, 0, false, 0)
+			case ir.OpSelect:
+				cond := m.scalar(fr, &st.args[0])
+				pick := 2
+				if cond != 0 {
+					pick = 1
+				}
+				if st.in.Ty.IsVector() {
+					fr.vregs[st.dst] = m.vector(fr, &st.args[pick])
+				} else {
+					fr.regs[st.dst] = m.scalar(fr, &st.args[pick])
+				}
+				m.emit(fr, st, 0, false, 0)
+			case ir.OpCall:
+				m.emit(fr, st, 0, false, 0)
+				cargs := make([]uint64, len(st.args))
+				for j := range st.args {
+					cargs[j] = m.scalar(fr, &st.args[j])
+				}
+				res, vres := m.call(st.callee, cargs)
+				if st.dst >= 0 {
+					if st.in.Ty.IsVector() {
+						fr.vregs[st.dst] = vres
+					} else {
+						fr.regs[st.dst] = res
+					}
+				}
+			case ir.OpRet:
+				m.emit(fr, st, 0, false, 0)
+				if len(st.args) == 0 {
+					return 0, nil
+				}
+				if st.in.Args[0].Type().IsVector() {
+					return 0, m.vector(fr, &st.args[0])
+				}
+				return m.scalar(fr, &st.args[0]), nil
+			case ir.OpBr:
+				m.emit(fr, st, 0, false, 0)
+				next := st.targets[0]
+				m.phiMoves(fr, next, bp.index)
+				bp = next
+				goto nextBlock
+			case ir.OpCondBr:
+				cond := m.scalar(fr, &st.args[0]) != 0
+				m.emit(fr, st, 0, cond, 0)
+				var next *blockPlan
+				if cond {
+					next = st.targets[0]
+				} else {
+					next = st.targets[1]
+				}
+				m.phiMoves(fr, next, bp.index)
+				bp = next
+				goto nextBlock
+			case ir.OpSwitch:
+				v := int64(m.scalar(fr, &st.args[0]))
+				next := st.targets[0]
+				for ci, cv := range st.in.Cases {
+					if cv == v {
+						next = st.targets[ci+1]
+						break
+					}
+				}
+				m.emit(fr, st, 0, false, next.pc)
+				m.phiMoves(fr, next, bp.index)
+				bp = next
+				goto nextBlock
+			default:
+				trapf("unexecutable opcode %s", st.in.Op)
+			}
+		}
+		trapf("block %s fell through without terminator", bp.block.BName)
+	nextBlock:
+	}
+}
+
+// phiMoves performs the parallel copies for the edge prev -> next.
+func (m *Machine) phiMoves(fr *frame, next *blockPlan, prevIdx int) {
+	moves := next.movesFrom[prevIdx]
+	if len(moves) == 0 {
+		return
+	}
+	// Parallel semantics: snapshot sources first.
+	type snap struct {
+		dst int32
+		val uint64
+		vec []uint64
+		isV bool
+	}
+	tmp := make([]snap, len(moves))
+	for i, mv := range moves {
+		if mv.src.reg >= 0 && fr.vregs[mv.src.reg] != nil {
+			tmp[i] = snap{dst: mv.dst, vec: fr.vregs[mv.src.reg], isV: true}
+		} else {
+			tmp[i] = snap{dst: mv.dst, val: m.scalar(fr, &moves[i].src)}
+		}
+	}
+	for _, s := range tmp {
+		if s.isV {
+			fr.vregs[s.dst] = append([]uint64(nil), s.vec...)
+		} else {
+			fr.regs[s.dst] = s.val
+		}
+	}
+}
+
+// scalar fetches a scalar operand's raw bits.
+func (m *Machine) scalar(fr *frame, op *operand) uint64 {
+	if op.reg < 0 {
+		return op.imm
+	}
+	return fr.regs[op.reg]
+}
+
+// vector fetches a vector operand.
+func (m *Machine) vector(fr *frame, op *operand) []uint64 {
+	if op.reg < 0 {
+		if op.vecImm != nil {
+			return op.vecImm
+		}
+		trapf("scalar immediate used as vector operand")
+	}
+	v := fr.vregs[op.reg]
+	if v == nil {
+		trapf("vector register read before write")
+	}
+	return v
+}
+
+// checkVector traps when the platform cannot execute the vector type,
+// mirroring an illegal-instruction fault on hardware without the
+// required vector extension.
+func (m *Machine) checkVector(ty ir.Type) {
+	if m.vlenBytes == 0 {
+		trapf("illegal instruction: %s has no vector unit", m.plat.Name)
+	}
+	if ty.Size() > m.vlenBytes {
+		trapf("illegal instruction: %s exceeds VLEN of %d bytes on %s",
+			ty, m.vlenBytes, m.plat.Name)
+	}
+}
+
+// slot maps a register id into the core's scoreboard space.
+func (fr *frame) slot(reg int32) int32 {
+	if reg < 0 {
+		return -1
+	}
+	return int32((uint32(reg) + fr.salt) & 0x3FF)
+}
+
+// emit charges one micro-op through the core model.
+func (m *Machine) emit(fr *frame, st *step, addr uint64, taken bool, target uint64) {
+	u := &m.uop
+	u.Class = st.class
+	u.Dst = fr.slot(st.dst)
+	u.Src1, u.Src2, u.Src3 = -1, -1, -1
+	if len(st.args) > 0 {
+		u.Src1 = fr.slot(st.args[0].reg)
+	}
+	if len(st.args) > 1 {
+		u.Src2 = fr.slot(st.args[1].reg)
+	}
+	if len(st.args) > 2 {
+		u.Src3 = fr.slot(st.args[2].reg)
+	}
+	u.Addr = addr
+	u.Size = st.size
+	u.BrID = st.brID
+	u.Taken = taken
+	u.Target = target
+	u.Flops = uint32(st.flops)
+	u.IntOps = uint32(st.intops)
+	u.Lanes = st.lanes
+	m.hart.Core.Exec(u)
+}

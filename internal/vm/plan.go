@@ -1,0 +1,305 @@
+// Package vm interprets the mini-LLVM IR on a simulated core. It is
+// the execution substrate that makes the two halves of the paper meet:
+// every interpreted instruction is charged through the machine
+// package's pipeline model (so PMU counters, sampling and flame graphs
+// see it), while calls to the mperf.* intrinsics flow into the
+// instrumentation runtime (so the compiler-driven Roofline counters
+// see the same execution).
+package vm
+
+import (
+	"fmt"
+
+	"mperf/internal/ir"
+	"mperf/internal/machine"
+)
+
+// operand is a pre-resolved instruction input: a register or an
+// immediate.
+type operand struct {
+	reg int32  // >= 0: register id; -1: immediate
+	imm uint64 // immediate bits when reg < 0
+	// vecImm is non-nil for (rare) vector immediates.
+	vecImm []uint64
+}
+
+// step is one pre-decoded instruction.
+type step struct {
+	in   *ir.Instr
+	dst  int32 // destination register, -1 for none
+	args []operand
+
+	// Pre-computed micro-op template fields.
+	class  machine.OpClass
+	flops  uint32
+	intops uint32
+	lanes  uint8
+	size   int32  // memory access size
+	brID   uint32 // static branch site id
+
+	// Pre-resolved call plan (nil for intrinsics).
+	callee *funcPlan
+	// Pre-resolved branch targets, parallel to in.Blocks.
+	targets []*blockPlan
+}
+
+// phiMove is one parallel-copy assignment performed on a CFG edge.
+type phiMove struct {
+	dst int32
+	src operand
+}
+
+// blockPlan is a pre-decoded basic block.
+type blockPlan struct {
+	block *ir.Block
+	index int
+	steps []step
+	// movesFrom maps predecessor block index -> phi parallel copies.
+	movesFrom map[int][]phiMove
+	// pc is the synthetic address of this block for sampling.
+	pc uint64
+}
+
+// funcPlan is a pre-decoded function.
+type funcPlan struct {
+	fn      *ir.Func
+	entry   *blockPlan
+	blocks  []*blockPlan
+	numRegs int
+	base    uint64 // synthetic address range [base, base+size)
+	size    uint64
+	// intrinsic is non-empty for runtime-dispatched declarations.
+	intrinsic string
+}
+
+// planner compiles a module into executable plans.
+type planner struct {
+	m        *Machine
+	plans    map[*ir.Func]*funcPlan
+	nextBase uint64
+	nextBrID uint32
+}
+
+// blockAddrStride spaces block PCs within a function's address range.
+const blockAddrStride = 64
+
+func (p *planner) planModule(mod *ir.Module) error {
+	for _, f := range mod.Funcs {
+		fp := &funcPlan{fn: f, base: p.nextBase}
+		if len(f.Blocks) == 0 {
+			if !isIntrinsic(f.FName) {
+				return fmt.Errorf("vm: function @%s has no body and is not a runtime intrinsic", f.FName)
+			}
+			fp.intrinsic = f.FName
+			fp.size = blockAddrStride
+		} else {
+			fp.size = uint64(len(f.Blocks)+1) * blockAddrStride
+		}
+		p.nextBase += fp.size + blockAddrStride
+		p.plans[f] = fp
+	}
+	for _, f := range mod.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		if err := p.planFunc(f); err != nil {
+			return fmt.Errorf("vm: @%s: %w", f.FName, err)
+		}
+	}
+	return nil
+}
+
+func isIntrinsic(name string) bool {
+	return len(name) > 6 && name[:6] == "mperf."
+}
+
+// planFunc assigns register ids and pre-decodes every block.
+func (p *planner) planFunc(f *ir.Func) error {
+	fp := p.plans[f]
+
+	regs := make(map[ir.Value]int32)
+	next := int32(0)
+	for _, prm := range f.Params {
+		regs[prm] = next
+		next++
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Ty != ir.Void {
+				regs[in] = next
+				next++
+			}
+		}
+	}
+	fp.numRegs = int(next)
+
+	blockIdx := make(map[*ir.Block]int)
+	for i, b := range f.Blocks {
+		bp := &blockPlan{block: b, index: i, pc: fp.base + uint64(i+1)*blockAddrStride}
+		fp.blocks = append(fp.blocks, bp)
+		blockIdx[b] = i
+	}
+	fp.entry = fp.blocks[0]
+
+	resolve := func(v ir.Value) (operand, error) {
+		switch x := v.(type) {
+		case *ir.Const:
+			return operand{reg: -1, imm: constBits(x)}, nil
+		case *ir.Global:
+			addr, ok := p.m.globalAddr[x.GName]
+			if !ok {
+				return operand{}, fmt.Errorf("unallocated global @%s", x.GName)
+			}
+			return operand{reg: -1, imm: addr}, nil
+		case *ir.Param, *ir.Instr:
+			r, ok := regs[v]
+			if !ok {
+				return operand{}, fmt.Errorf("operand %s has no register", v)
+			}
+			return operand{reg: r}, nil
+		case *ir.Func:
+			return operand{}, fmt.Errorf("function-valued operands are not executable")
+		}
+		return operand{}, fmt.Errorf("unknown operand kind %T", v)
+	}
+
+	for bi, b := range f.Blocks {
+		bp := fp.blocks[bi]
+		bp.movesFrom = make(map[int][]phiMove)
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				// Phis execute as parallel copies on the incoming edge.
+				for i, pred := range in.Blocks {
+					src, err := resolve(in.Args[i])
+					if err != nil {
+						return err
+					}
+					pi := blockIdx[pred]
+					bp.movesFrom[pi] = append(bp.movesFrom[pi], phiMove{dst: regs[in], src: src})
+				}
+				continue
+			}
+			st := step{in: in, dst: -1}
+			if in.Ty != ir.Void {
+				st.dst = regs[in]
+			}
+			for _, a := range in.Args {
+				op, err := resolve(a)
+				if err != nil {
+					return err
+				}
+				st.args = append(st.args, op)
+			}
+			for _, t := range in.Blocks {
+				st.targets = append(st.targets, fp.blocks[blockIdx[t]])
+			}
+			if in.Op == ir.OpCall {
+				cp, ok := p.plans[in.Callee]
+				if !ok {
+					return fmt.Errorf("call to unplanned function @%s", in.Callee.FName)
+				}
+				st.callee = cp
+			}
+			p.fillUopTemplate(&st)
+			bp.steps = append(bp.steps, st)
+		}
+	}
+	return nil
+}
+
+// fillUopTemplate pre-computes the machine-level classification of a
+// step: op class, retired-work counts, lanes, access size, branch id.
+func (p *planner) fillUopTemplate(st *step) {
+	in := st.in
+	lanes := 1
+	if in.Ty.IsVector() {
+		lanes = in.Ty.Lanes
+	}
+	st.lanes = uint8(lanes)
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpLShr, ir.OpAShr, ir.OpICmp, ir.OpSelect,
+		ir.OpGEP, ir.OpAlloca,
+		ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpSIToFP, ir.OpFPToSI,
+		ir.OpFPExt, ir.OpFPTrunc:
+		st.class = machine.OpIntALU
+		if in.Ty.IsInteger() || in.Op == ir.OpGEP {
+			st.intops = uint32(lanes)
+		}
+	case ir.OpMul:
+		st.class = machine.OpIntMul
+		st.intops = uint32(lanes)
+	case ir.OpSDiv, ir.OpSRem:
+		st.class = machine.OpIntDiv
+		st.intops = uint32(lanes)
+	case ir.OpFAdd, ir.OpFSub, ir.OpFCmp:
+		st.class = machine.OpFPAdd
+		st.flops = uint32(lanes)
+	case ir.OpFMul:
+		st.class = machine.OpFPMul
+		st.flops = uint32(lanes)
+	case ir.OpFDiv:
+		st.class = machine.OpFPDiv
+		st.flops = uint32(lanes)
+	case ir.OpFMA:
+		st.class = machine.OpFMA
+		st.flops = uint32(2 * lanes)
+	case ir.OpSplat:
+		st.class = machine.OpVecALU
+	case ir.OpExtract:
+		st.class = machine.OpVecALU
+	case ir.OpReduce:
+		st.class = machine.OpVecALU
+		if v := in.Args[0].Type(); v.Elem().IsFloat() {
+			st.flops = uint32(v.Lanes - 1)
+		}
+	case ir.OpLoad:
+		st.class = machine.OpLoad
+		st.size = int32(in.Ty.Size())
+		if in.Ty.IsVector() {
+			st.class = machine.OpVecLoad
+		}
+	case ir.OpStore:
+		st.class = machine.OpStore
+		st.size = int32(in.Args[0].Type().Size())
+		if in.Args[0].Type().IsVector() {
+			st.class = machine.OpVecStore
+			st.lanes = uint8(in.Args[0].Type().Lanes)
+		}
+	case ir.OpBr:
+		st.class = machine.OpJump
+	case ir.OpCondBr:
+		st.class = machine.OpBranch
+		p.nextBrID++
+		st.brID = p.nextBrID
+	case ir.OpSwitch:
+		st.class = machine.OpIndirect
+		p.nextBrID++
+		st.brID = p.nextBrID
+	case ir.OpCall:
+		st.class = machine.OpCall
+	case ir.OpRet:
+		st.class = machine.OpRet
+	default:
+		st.class = machine.OpNop
+	}
+	// Vector arithmetic classes.
+	if in.Ty.IsVector() {
+		switch st.class {
+		case machine.OpFPAdd, machine.OpFPMul, machine.OpFPDiv:
+			st.class = machine.OpVecALU
+		case machine.OpFMA:
+			st.class = machine.OpVecFMA
+		case machine.OpIntALU, machine.OpIntMul:
+			st.class = machine.OpVecALU
+		}
+	}
+}
+
+// constBits converts a constant to its raw register representation.
+func constBits(c *ir.Const) uint64 {
+	if c.Ty.IsFloat() {
+		return floatBits(c.Ty, c.Float)
+	}
+	return uint64(c.Int)
+}
