@@ -1,40 +1,47 @@
 // Command miniperf is the CLI front end of the reproduced tool: it
-// loads one of the built-in workloads onto a simulated platform and
-// runs the profiling verbs from the paper.
+// resolves one of the registered workloads and platforms through the
+// mperf registries and runs the profiling verbs from the paper.
 //
 // Verbs:
 //
 //	miniperf platforms
-//	    List the known platforms, their CPU IDs and capabilities.
-//	miniperf stat     -platform x60 -workload sqlite
+//	    List the registered platforms, their CPU IDs and capabilities.
+//	miniperf workloads
+//	    List the registered workloads.
+//	miniperf stat     -platform x60 -workload sqlite [-events cycles,instructions]
 //	    Count events around the workload (works on every platform).
 //	miniperf record   -platform x60 -workload sqlite [-freq 4000] [-flame out.svg]
 //	    Sample the workload, print hotspots, optionally render a flame
 //	    graph. On the X60 this exercises the grouping workaround; on
 //	    the U74 it fails with the same error the real tool reports.
-//	miniperf roofline -platform x60 [-n 128] [-tile 32]
-//	    Compile the matmul kernel with the platform's vectorizer
-//	    profile, run the two-phase analysis and print the model.
+//	miniperf roofline -platform x60 [-workload matmul] [-n 128] [-tile 32]
+//	    Compile the workload (default matmul) with the platform's
+//	    vectorizer profile, run the two-phase analysis and print the
+//	    model.
 //	miniperf topdown  -platform x60 -workload sqlite
-//	    Level-1 Top-Down analysis (the paper's §6 extension): split
-//	    issue slots into retiring / bad speculation / frontend /
-//	    backend bound from the counted events.
+//	    Level-1 Top-Down analysis (the paper's §6 extension).
+//	miniperf profile  -platform x60 -workload sqlite [-collectors stat,record,topdown]
+//	    Run several collectors over one workload and emit the combined
+//	    profile as JSON.
+//	miniperf matrix   [-platforms all] [-workloads all] [-collectors stat]
+//	    Sweep platforms × workloads × collectors in parallel.
+//
+// Every verb accepts -json to emit the machine-readable Profile
+// instead of the rendered text.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"mperf/internal/experiments"
-	"mperf/internal/ir"
-	"mperf/internal/isa"
 	"mperf/internal/miniperf"
 	"mperf/internal/platform"
 	"mperf/internal/report"
-	"mperf/internal/tma"
-	"mperf/internal/vm"
 	"mperf/internal/workloads"
+	"mperf/pkg/mperf"
 )
 
 func fail(err error) {
@@ -42,152 +49,152 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func platformByName(name string) (*platform.Platform, error) {
-	switch name {
-	case "x60":
-		return platform.X60(), nil
-	case "u74":
-		return platform.U74(), nil
-	case "c910":
-		return platform.C910(), nil
-	case "i5", "x86":
-		return platform.I5_1135G7(), nil
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
 	}
-	return nil, fmt.Errorf("unknown platform %q (x60, u74, c910, i5)", name)
 }
 
-// workloadMachine builds the requested workload and returns the loaded
-// machine plus the entry thunk.
-func workloadMachine(p *platform.Platform, name string) (*vm.Machine, func() error, error) {
-	switch name {
-	case "sqlite":
-		cfg := workloads.DefaultSqliteConfig()
-		mod := ir.NewModule("sqlite3")
-		if _, err := workloads.BuildSqliteSim(mod, cfg); err != nil {
-			return nil, nil, err
-		}
-		m, err := vm.New(p, mod)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := workloads.SeedSqlite(m, cfg); err != nil {
-			return nil, nil, err
-		}
-		return m, func() error { _, err := workloads.RunSqlite(m, cfg); return err }, nil
-	case "matmul":
-		const n, tile = 128, 32
-		mod := ir.NewModule("matmul")
-		if _, err := workloads.BuildMatmul(mod, n, tile); err != nil {
-			return nil, nil, err
-		}
-		m, err := vm.New(p, mod)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := workloads.SeedMatmul(m, n); err != nil {
-			return nil, nil, err
-		}
-		return m, func() error { return workloads.RunMatmul(m, n) }, nil
-	case "dot":
-		const n = 1 << 16
-		mod := ir.NewModule("dot")
-		workloads.BuildDot(mod)
-		mod.NewGlobal("da", ir.F32, n)
-		mod.NewGlobal("db", ir.F32, n)
-		m, err := vm.New(p, mod)
-		if err != nil {
-			return nil, nil, err
-		}
-		workloads.SeedF32(m, "da", n)
-		workloads.SeedF32(m, "db", n)
-		da, _ := m.GlobalAddr("da")
-		db, _ := m.GlobalAddr("db")
-		return m, func() error { _, err := m.Run("dot", da, db, uint64(n)); return err }, nil
+func splitList(s string) []string {
+	if s == "" || s == "all" {
+		return nil
 	}
-	return nil, nil, fmt.Errorf("unknown workload %q (sqlite, matmul, dot)", name)
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: miniperf <platforms|stat|record|roofline> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: miniperf <platforms|workloads|stat|record|roofline|topdown|profile|matrix> [flags]")
 		os.Exit(2)
 	}
 	verb := os.Args[1]
 	fs := flag.NewFlagSet(verb, flag.ExitOnError)
-	platName := fs.String("platform", "x60", "target platform: x60, u74, c910, i5")
-	workload := fs.String("workload", "sqlite", "workload: sqlite, matmul, dot")
+	platName := fs.String("platform", "x60", "target platform: "+strings.Join(platform.Names(), ", "))
+	workload := fs.String("workload", "sqlite", "workload: "+strings.Join(workloads.Names(), ", "))
+	events := fs.String("events", "", "stat: comma-separated event names (default: the perf stat set)")
 	freq := fs.Uint64("freq", 4000, "record: sample frequency in Hz")
 	flame := fs.String("flame", "", "record: write a cycles flame graph SVG here")
-	n := fs.Int("n", 128, "roofline: matmul dimension")
-	tile := fs.Int("tile", 32, "roofline: matmul tile")
+	n := fs.Int("n", 128, "matmul dimension")
+	tile := fs.Int("tile", 32, "matmul tile")
+	elems := fs.Int("elems", 0, "element count for dot/triad/stencil (0 = default)")
+	collectors := fs.String("collectors", "stat,record,topdown", "profile/matrix: comma-separated collector names, or all")
+	platforms := fs.String("platforms", "all", "matrix: comma-separated platforms, or all")
+	workloadList := fs.String("workloads", "all", "matrix: comma-separated workloads, or all")
+	parallel := fs.Int("parallel", 0, "matrix: worker pool size (0 = GOMAXPROCS)")
+	asJSON := fs.Bool("json", false, "emit the profile as JSON instead of rendered text")
 	fs.Parse(os.Args[2:])
+	workloadSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workload" {
+			workloadSet = true
+		}
+	})
+	// The roofline verb profiles a compute kernel; the shared sqlite
+	// default would yield a degenerate model, so it defaults to the
+	// paper's matmul unless -workload is given explicitly.
+	if verb == "roofline" && !workloadSet {
+		*workload = "matmul"
+	}
+	collectorNames := splitList(*collectors)
+	if collectorNames == nil {
+		collectorNames = mperf.CollectorNames()
+	}
+
+	opts := []mperf.Option{
+		mperf.WithMatmulSize(*n, *tile),
+		mperf.WithSampleFreq(*freq),
+	}
+	if *elems > 0 {
+		opts = append(opts, mperf.WithElems(*elems))
+	}
+	if evs := splitList(*events); evs != nil {
+		opts = append(opts, mperf.WithStatEvents(evs...))
+	}
+
+	// runOne opens a session and runs one collector, failing the
+	// process on any error — the single-verb verbs share it.
+	runOne := func(collector string) (*mperf.Session, *mperf.Profile) {
+		sess, err := mperf.Open(*platName, *workload, opts...)
+		if err != nil {
+			fail(err)
+		}
+		cs, err := mperf.Collectors(collector)
+		if err != nil {
+			fail(err)
+		}
+		prof, err := sess.Run(cs...)
+		if err != nil {
+			fail(err)
+		}
+		if err := prof.Err(); err != nil {
+			fail(err)
+		}
+		return sess, prof
+	}
 
 	switch verb {
 	case "platforms":
-		t := report.NewTable("Known platforms",
+		t := report.NewTable("Registered platforms",
 			"Name", "Board", "ISA", "CPU ID", "Overflow IRQ", "Upstream Linux")
-		for _, p := range platform.Catalog() {
+		for _, name := range platform.Names() {
+			p, err := platform.Lookup(name)
+			if err != nil {
+				fail(err)
+			}
 			t.AddRowCells(p.Name, p.Board, p.TargetISA, p.ID.String(),
 				p.Caps.OverflowIRQ.String(), p.Caps.UpstreamLinux)
 		}
 		fmt.Println(t.String())
 
+	case "workloads":
+		t := report.NewTable("Registered workloads", "Name", "Entry", "Description")
+		for _, name := range workloads.Names() {
+			spec, err := workloads.Lookup(name, workloads.Params{})
+			if err != nil {
+				fail(err)
+			}
+			t.AddRowCells(spec.Name, "@"+spec.Entry, spec.Description)
+		}
+		fmt.Println(t.String())
+
 	case "stat":
-		p, err := platformByName(*platName)
-		if err != nil {
-			fail(err)
+		sess, prof := runOne("stat")
+		if *asJSON {
+			emitJSON(prof)
+			return
 		}
-		m, run, err := workloadMachine(p, *workload)
-		if err != nil {
-			fail(err)
-		}
-		tool, err := miniperf.Attach(m)
-		if err != nil {
-			fail(err)
-		}
-		res, err := tool.Stat([]isa.EventCode{
-			isa.EventCycles, isa.EventInstructions,
-			isa.EventBranchInstructions, isa.EventBranchMisses,
-			isa.EventCacheReferences, isa.EventCacheMisses,
-		}, run)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("Performance counter stats for %q on %s:\n\n", *workload, p.Name)
-		for _, label := range []string{"cycles", "instructions", "branches", "branch-misses",
-			"cache-references", "cache-misses"} {
-			fmt.Printf("  %18s  %s\n", report.Grouped(res.Values[label]), label)
+		fmt.Printf("Performance counter stats for %q on %s:\n\n", *workload, prof.Platform.Name)
+		for _, label := range sess.StatLabels() {
+			fmt.Printf("  %18s  %s\n", report.Grouped(prof.Events[label]), label)
 		}
 		fmt.Printf("\n  %.6f seconds (simulated)\n  %.2f insn per cycle\n",
-			res.ElapsedSeconds, res.IPC())
+			prof.ElapsedSeconds, prof.IPC)
 
 	case "record":
-		p, err := platformByName(*platName)
-		if err != nil {
-			fail(err)
-		}
-		m, run, err := workloadMachine(p, *workload)
-		if err != nil {
-			fail(err)
-		}
-		tool, err := miniperf.Attach(m)
-		if err != nil {
-			fail(err)
-		}
-		rec, err := tool.Record(miniperf.RecordOptions{FreqHz: *freq}, run)
-		if err != nil {
-			fail(err)
+		_, prof := runOne("record")
+		if *asJSON {
+			emitJSON(prof)
+			return
 		}
 		fmt.Printf("Sampled %d stacks on %s (leader: %s, lost: %d)\n\n",
-			len(rec.Samples), p.Name, rec.LeaderLabel, rec.Lost)
+			prof.SampleCount, prof.Platform.Name, prof.SamplingLeader, prof.LostSamples)
 		t := report.NewTable("Hotspots", "Function", "Total %", "Cycles", "Instructions", "IPC")
-		for _, h := range rec.Hotspots() {
+		for _, h := range prof.Hotspots {
 			t.AddRowCells(h.Function, fmt.Sprintf("%.2f%%", h.TotalPct),
 				report.Grouped(h.Cycles), report.Grouped(h.Instructions),
 				fmt.Sprintf("%.2f", h.IPC))
 		}
 		fmt.Println(t.String())
-		g := rec.FlameGraph(*workload+" on "+p.Name, miniperf.MetricCycles)
+		g := prof.Recording.FlameGraph(*workload+" on "+prof.Platform.Name, miniperf.MetricCycles)
 		fmt.Println(g.ASCII(100))
 		if *flame != "" {
 			if err := os.WriteFile(*flame, []byte(g.SVG(1000)), 0o644); err != nil {
@@ -197,37 +204,78 @@ func main() {
 		}
 
 	case "roofline":
-		res, err := experiments.RunFigure4(*n, *tile)
-		if err != nil {
-			fail(err)
+		_, prof := runOne("roofline")
+		if *asJSON {
+			emitJSON(prof)
+			return
 		}
-		p, err := platformByName(*platName)
-		if err != nil {
-			fail(err)
-		}
-		switch p.Name {
-		case "SpacemiT X60":
-			fmt.Println(res.X60Model.Summary())
-			fmt.Println(res.X60Model.ASCIIPlot(100, 20))
-		default:
-			fmt.Println(res.X86Model.Summary())
-			fmt.Println(res.X86Model.ASCIIPlot(100, 20))
-		}
+		fmt.Println(prof.Roofline.Model.Summary())
+		fmt.Println(prof.Roofline.Model.ASCIIPlot(100, 20))
 
 	case "topdown":
-		p, err := platformByName(*platName)
+		_, prof := runOne("topdown")
+		if *asJSON {
+			emitJSON(prof)
+			return
+		}
+		td := prof.TopDown
+		fmt.Printf("Top-Down analysis of %q on %s\n\n", *workload, prof.Platform.Name)
+		fmt.Printf("Top-Down level 1 (%d slots/cycle):\n", td.SlotsPerCycle)
+		fmt.Printf("  Retiring         %5.1f%%\n", 100*td.Retiring)
+		fmt.Printf("  Bad Speculation  %5.1f%%\n", 100*td.BadSpeculation)
+		fmt.Printf("  Frontend Bound   %5.1f%%\n", 100*td.FrontendBound)
+		fmt.Printf("  Backend Bound    %5.1f%%\n", 100*td.BackendBound)
+		fmt.Printf("  → dominant: %s\n", td.Dominant)
+
+	case "profile":
+		sess, err := mperf.Open(*platName, *workload, opts...)
 		if err != nil {
 			fail(err)
 		}
-		m, run, err := workloadMachine(p, *workload)
+		cs, err := mperf.Collectors(collectorNames...)
 		if err != nil {
 			fail(err)
 		}
-		b, err := tma.Measure(m, run)
+		prof, err := sess.Run(cs...)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("Top-Down analysis of %q on %s\n\n%s", *workload, p.Name, b.String())
+		emitJSON(prof) // the profile verb is JSON by design
+		if err := prof.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "miniperf: partial profile: %v\n", err)
+		}
+
+	case "matrix":
+		res, err := mperf.RunMatrix(mperf.MatrixSpec{
+			Platforms:   splitList(*platforms),
+			Workloads:   splitList(*workloadList),
+			Collectors:  collectorNames,
+			Options:     opts,
+			Parallelism: *parallel,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if *asJSON {
+			emitJSON(res)
+			return
+		}
+		t := report.NewTable("Matrix sweep", "Platform", "Workload", "IPC", "Samples", "Status")
+		for _, cell := range res.Cells {
+			ipc, samples, status := "-", "-", "ok"
+			switch {
+			case cell.Error != "":
+				status = cell.Error
+			case cell.Profile != nil:
+				ipc = fmt.Sprintf("%.2f", cell.Profile.IPC)
+				samples = report.Grouped(uint64(cell.Profile.SampleCount))
+				if err := cell.Profile.Err(); err != nil {
+					status = err.Error()
+				}
+			}
+			t.AddRowCells(cell.Platform, cell.Workload, ipc, samples, status)
+		}
+		fmt.Println(t.String())
 
 	default:
 		fmt.Fprintf(os.Stderr, "miniperf: unknown verb %q\n", verb)

@@ -1,0 +1,43 @@
+// matrix sweeps every registered platform against the streaming
+// kernels with the stat and record collectors — the batch-profiling
+// shape behind the paper's cross-platform tables, on the RunMatrix
+// worker pool. The U74 cells show the graceful degradation: counting
+// succeeds, sampling reports its missing overflow support as a typed
+// per-collector error instead of aborting the sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mperf/pkg/mperf"
+)
+
+func main() {
+	res, err := mperf.RunMatrix(mperf.MatrixSpec{
+		Workloads:  []string{"dot", "triad", "stencil"},
+		Collectors: []string{"stat", "record"},
+		Options: []mperf.Option{
+			mperf.WithElems(1 << 14),
+			mperf.WithSampleFreq(100_000),
+			// Four events fit even the U74's two programmable counters.
+			mperf.WithStatEvents("cycles", "instructions", "branches", "branch-misses"),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %-8s %6s %8s  %s\n", "plat", "workload", "IPC", "samples", "status")
+	for _, cell := range res.Cells {
+		if cell.Error != "" {
+			fmt.Printf("%-6s %-8s %6s %8s  session failed: %s\n", cell.Platform, cell.Workload, "-", "-", cell.Error)
+			continue
+		}
+		status := "ok"
+		if err := cell.Profile.Err(); err != nil {
+			status = err.Error()
+		}
+		fmt.Printf("%-6s %-8s %6.2f %8d  %s\n",
+			cell.Platform, cell.Workload, cell.Profile.IPC, cell.Profile.SampleCount, status)
+	}
+}

@@ -3,33 +3,28 @@
 // event fails with EOPNOTSUPP (the documented hardware defect), while
 // miniperf's automatic grouping — a sampling-capable u_mode_cycle
 // leader with cycles and instructions as counting members — delivers
-// full IPC-capable samples.
+// full IPC-capable samples. The machine comes from an mperf session
+// (registry-resolved platform and workload); the perf_event calls stay
+// raw to show exactly what the workaround does.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"mperf/internal/ir"
 	"mperf/internal/isa"
 	"mperf/internal/kernel"
 	"mperf/internal/miniperf"
-	"mperf/internal/platform"
-	"mperf/internal/vm"
-	"mperf/internal/workloads"
+	"mperf/pkg/mperf"
 )
 
 func main() {
-	cfg := workloads.DefaultSqliteConfig()
-	mod := ir.NewModule("sqlite3")
-	if _, err := workloads.BuildSqliteSim(mod, cfg); err != nil {
-		log.Fatal(err)
-	}
-	m, err := vm.New(platform.X60(), mod)
+	sess, err := mperf.Open("x60", "sqlite")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := workloads.SeedSqlite(m, cfg); err != nil {
+	m, err := sess.NewMachine()
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -50,8 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	rec, err := tool.Record(miniperf.RecordOptions{FreqHz: 20_000}, func() error {
-		_, err := workloads.RunSqlite(m, cfg)
-		return err
+		return sess.Workload().Run(m)
 	})
 	if err != nil {
 		log.Fatal(err)

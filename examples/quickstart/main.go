@@ -1,59 +1,52 @@
-// Quickstart: build a small kernel in the mini-IR, load it onto a
-// simulated SpacemiT X60, and count cycles/instructions around it with
-// miniperf — the five-minute tour of the toolchain.
+// Quickstart: open a profiling session against a registered platform
+// and workload, run several collectors over it in one call, and print
+// both the human-readable numbers and the JSON profile — the
+// five-minute tour of the public mperf API.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
+	"os"
 
-	"mperf/internal/ir"
-	"mperf/internal/isa"
-	"mperf/internal/miniperf"
-	"mperf/internal/platform"
-	"mperf/internal/vm"
-	"mperf/internal/workloads"
+	"mperf/pkg/mperf"
 )
 
 func main() {
-	// 1. Build a module: a dot product over 64k floats.
-	const n = 1 << 16
-	mod := ir.NewModule("quickstart")
-	workloads.BuildDot(mod)
-	mod.NewGlobal("a", ir.F32, n)
-	mod.NewGlobal("b", ir.F32, n)
-
-	// 2. Load it onto a simulated X60 hart.
-	m, err := vm.New(platform.X60(), mod)
+	// 1. Resolve "x60" and "dot" through the platform and workload
+	// registries. Options size the workload; unknown names fail here.
+	sess, err := mperf.Open("x60", "dot",
+		mperf.WithElems(1<<16),
+		mperf.WithSampleFreq(40_000))
 	if err != nil {
 		log.Fatal(err)
 	}
-	workloads.SeedF32(m, "a", n)
-	workloads.SeedF32(m, "b", n)
-	a, _ := m.GlobalAddr("a")
-	b, _ := m.GlobalAddr("b")
+	fmt.Printf("platform: %s (%s)\n", sess.Platform().Name, sess.Platform().ID)
+	fmt.Printf("workload: %s — %s\n\n", sess.Workload().Name, sess.Workload().Description)
 
-	// 3. Attach miniperf (platform detection via CPU ID registers).
-	tool, err := miniperf.Attach(m)
+	// 2. Run three collectors over coordinated executions of the one
+	// workload: event counting, overflow-group sampling (the X60
+	// workaround), and level-1 Top-Down.
+	prof, err := sess.Run(mperf.MustCollectors("stat", "record", "topdown")...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("detected platform: %s (%s)\n\n", tool.Platform().Name, tool.Platform().ID)
-
-	// 4. Count events around the kernel.
-	res, err := tool.Stat([]isa.EventCode{
-		isa.EventCycles, isa.EventInstructions, isa.EventCacheMisses,
-	}, func() error {
-		_, err := m.Run("dot", a, b, uint64(n))
-		return err
-	})
-	if err != nil {
+	if err := prof.Err(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cycles:        %d\n", res.Values["cycles"])
-	fmt.Printf("instructions:  %d\n", res.Values["instructions"])
-	fmt.Printf("cache misses:  %d\n", res.Values["cache-misses"])
-	fmt.Printf("IPC:           %.2f\n", res.IPC())
-	fmt.Printf("elapsed:       %.3f ms (simulated at %.1f GHz)\n",
-		res.ElapsedSeconds*1e3, tool.Platform().Core.FreqHz/1e9)
+
+	// 3. The numbers, straight off the profile.
+	fmt.Printf("cycles:       %d\n", prof.Events["cycles"])
+	fmt.Printf("instructions: %d\n", prof.Events["instructions"])
+	fmt.Printf("IPC:          %.2f\n", prof.IPC)
+	fmt.Printf("samples:      %d (leader: %s)\n", prof.SampleCount, prof.SamplingLeader)
+	fmt.Printf("dominant:     %s\n\n", prof.TopDown.Dominant)
+
+	// 4. The same profile as machine-readable JSON.
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(prof); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,3 @@
+module mperf
+
+go 1.24

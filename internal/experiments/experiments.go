@@ -2,6 +2,11 @@
 // paper's evaluation section on the simulated platforms. Each
 // experiment returns both structured data (asserted by tests and
 // compared against paper values in EXPERIMENTS.md) and rendered text.
+//
+// Platforms and workloads are resolved through the registries behind
+// the public mperf Session API; the bespoke methodology of each figure
+// (paired platforms, memset-derived roofs, the Advisor-style counter
+// estimate) stays here, built on session-provided machines.
 package experiments
 
 import (
@@ -9,14 +14,13 @@ import (
 	"strings"
 
 	"mperf/internal/flamegraph"
-	"mperf/internal/ir"
+	"mperf/internal/isa"
 	"mperf/internal/miniperf"
-	"mperf/internal/passes"
 	"mperf/internal/platform"
 	"mperf/internal/report"
 	"mperf/internal/roofline"
-	"mperf/internal/vm"
 	"mperf/internal/workloads"
+	"mperf/pkg/mperf"
 )
 
 // Table1 reproduces the platform capability survey.
@@ -30,7 +34,7 @@ type Table1 struct {
 func RunTable1() *Table1 {
 	var riscv []*platform.Platform
 	for _, p := range platform.Catalog() {
-		if p.ID.MVendorID != 0x8086 {
+		if p.ID.MVendorID != isa.VendorIntelRef {
 			riscv = append(riscv, p)
 		}
 	}
@@ -46,7 +50,8 @@ func RunTable1() *Table1 {
 	return &Table1{Platforms: riscv, Text: t.String()}
 }
 
-// sqliteSession runs the sqlite workload under miniperf on a platform.
+// sqliteSession is the sqlite workload profiled under the record
+// collector on one platform.
 type sqliteSession struct {
 	Platform  *platform.Platform
 	Recording *miniperf.Recording
@@ -54,19 +59,8 @@ type sqliteSession struct {
 	IPC       float64
 }
 
-func runSqliteOn(p *platform.Platform, cfg workloads.SqliteConfig) (*sqliteSession, error) {
-	mod := ir.NewModule("sqlite3")
-	if _, err := workloads.BuildSqliteSim(mod, cfg); err != nil {
-		return nil, err
-	}
-	m, err := vm.New(p, mod)
-	if err != nil {
-		return nil, err
-	}
-	if err := workloads.SeedSqlite(m, cfg); err != nil {
-		return nil, err
-	}
-	tool, err := miniperf.Attach(m)
+func runSqliteOn(platformName string, cfg workloads.SqliteConfig) (*sqliteSession, error) {
+	p, err := platform.Lookup(platformName)
 	if err != nil {
 		return nil, err
 	}
@@ -74,19 +68,23 @@ func runSqliteOn(p *platform.Platform, cfg workloads.SqliteConfig) (*sqliteSessi
 	// (which finish the fixed workload in less simulated time) collect
 	// a comparable number of samples.
 	freq := uint64(40_000 * p.Core.FreqHz / 1.6e9)
-	rec, err := tool.Record(miniperf.RecordOptions{FreqHz: freq}, func() error {
-		_, err := workloads.RunSqlite(m, cfg)
-		return err
-	})
+	sess, err := mperf.Open(platformName, "sqlite",
+		mperf.WithSqliteConfig(cfg), mperf.WithSampleFreq(freq))
 	if err != nil {
 		return nil, err
 	}
-	st := m.Hart().Core.Stats()
+	prof, err := sess.Run(mperf.MustCollectors("record")...)
+	if err != nil {
+		return nil, err
+	}
+	if err := prof.Err(); err != nil {
+		return nil, err
+	}
 	return &sqliteSession{
-		Platform:  p,
-		Recording: rec,
-		Hotspots:  rec.Hotspots(),
-		IPC:       st.IPC(),
+		Platform:  sess.Platform(),
+		Recording: prof.Recording,
+		Hotspots:  prof.Recording.Hotspots(),
+		IPC:       prof.IPC,
 	}, nil
 }
 
@@ -109,11 +107,11 @@ func topN(hs []miniperf.Hotspot, n int) []miniperf.Hotspot {
 // x86 reference and reports the top-3 hotspots with Total %,
 // instructions and IPC, as the paper's Table 2 does.
 func RunTable2(cfg workloads.SqliteConfig) (*Table2, error) {
-	x60, err := runSqliteOn(platform.X60(), cfg)
+	x60, err := runSqliteOn("x60", cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: X60 session: %w", err)
 	}
-	i5, err := runSqliteOn(platform.I5_1135G7(), cfg)
+	i5, err := runSqliteOn("i5", cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: i5 session: %w", err)
 	}
@@ -152,11 +150,11 @@ type Figure3 struct {
 
 // RunFigure3 renders the flame graphs from the Table 2 recordings.
 func RunFigure3(cfg workloads.SqliteConfig) (*Figure3, error) {
-	x60, err := runSqliteOn(platform.X60(), cfg)
+	x60, err := runSqliteOn("x60", cfg)
 	if err != nil {
 		return nil, err
 	}
-	i5, err := runSqliteOn(platform.I5_1135G7(), cfg)
+	i5, err := runSqliteOn("i5", cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -196,89 +194,82 @@ type Figure4 struct {
 	Text string
 }
 
-// buildMatmulMachine compiles the kernel for a platform with the given
-// pipeline options and loads it.
-func buildMatmulMachine(p *platform.Platform, n, tile int, instrument bool) (*vm.Machine, *passes.PipelineResult, error) {
-	mod := ir.NewModule("matmul")
-	if _, err := workloads.BuildMatmul(mod, n, tile); err != nil {
-		return nil, nil, err
-	}
-	profile, err := passes.ProfileByName(p.VectorizerProfile)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := passes.RunPipeline(mod, passes.PipelineOptions{
-		Profile:    profile,
-		Lanes:      p.Core.VectorLanes32,
-		Interleave: true,
-		Instrument: instrument,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	m, err := vm.New(p, mod)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := workloads.SeedMatmul(m, n); err != nil {
-		return nil, nil, err
-	}
-	return m, res, nil
+// matmulSession opens a session for the Fig 4 kernel on a platform.
+func matmulSession(platformName string, n, tile int) (*mperf.Session, error) {
+	return mperf.Open(platformName, "matmul", mperf.WithMatmulSize(n, tile))
 }
 
-func matmulArgs(m *vm.Machine, n int) []uint64 {
-	a, _ := m.GlobalAddr("A")
-	b, _ := m.GlobalAddr("B")
-	c, _ := m.GlobalAddr("C")
-	return []uint64{a, b, c, uint64(n)}
+// twoPhasePoint compiles the workload instrumented, runs the two-phase
+// workflow and returns the kernel's region as a model point.
+func twoPhasePoint(sess *mperf.Session) (roofline.Point, error) {
+	m, err := sess.NewOptimizedMachine(true)
+	if err != nil {
+		return roofline.Point{}, err
+	}
+	spec := sess.Workload()
+	args, err := spec.Args(m)
+	if err != nil {
+		return roofline.Point{}, err
+	}
+	two, err := roofline.RunTwoPhase(m, spec.Entry, args)
+	if err != nil {
+		return roofline.Point{}, err
+	}
+	lr, ok := two.LoopByFunc(spec.Entry)
+	if !ok {
+		return roofline.Point{}, fmt.Errorf("experiments: %s region not measured on %s",
+			spec.Entry, sess.Platform().Name)
+	}
+	return roofline.Point{
+		Name: spec.Entry + " (miniperf)", AI: lr.AI, GFLOPS: lr.GFLOPS, Source: "miniperf (IR)",
+	}, nil
 }
 
 // RunFigure4 performs the full roofline comparison.
 func RunFigure4(n, tile int) (*Figure4, error) {
 	res := &Figure4{N: n, Tile: tile}
-	i5 := platform.I5_1135G7()
-	x60 := platform.X60()
+	i5Sess, err := matmulSession("i5", n, tile)
+	if err != nil {
+		return nil, err
+	}
+	x60Sess, err := matmulSession("x60", n, tile)
+	if err != nil {
+		return nil, err
+	}
+	i5 := i5Sess.Platform()
+	x60 := x60Sess.Platform()
 
 	// --- x86: miniperf (compiler-driven, two-phase). ---
-	mi, _, err := buildMatmulMachine(i5, n, tile, true)
+	res.MiniperfX86, err = twoPhasePoint(i5Sess)
 	if err != nil {
 		return nil, err
 	}
-	two, err := roofline.RunTwoPhase(mi, "matmul", matmulArgs(mi, n))
-	if err != nil {
-		return nil, err
-	}
-	lr, ok := two.LoopByFunc("matmul")
-	if !ok {
-		return nil, fmt.Errorf("experiments: matmul region not measured")
-	}
-	res.MiniperfX86 = roofline.Point{Name: "matmul (miniperf)", AI: lr.AI, GFLOPS: lr.GFLOPS, Source: "miniperf (IR)"}
 
 	// --- x86: the benchmark's self-reported figure (nominal 2n³ FLOPs
 	// over its own wall time, on an uninstrumented build). ---
-	ms, _, err := buildMatmulMachine(i5, n, tile, false)
+	ms, err := i5Sess.NewOptimizedMachine(false)
 	if err != nil {
 		return nil, err
 	}
 	start := ms.Cycles()
-	if err := workloads.RunMatmul(ms, n); err != nil {
+	if err := i5Sess.Workload().Run(ms); err != nil {
 		return nil, err
 	}
 	selfSec := float64(ms.Cycles()-start) / ms.FreqHz()
 	res.SelfReported = roofline.Point{
 		Name:   "matmul (self-reported)",
-		AI:     lr.AI, // plotted at the same intensity
+		AI:     res.MiniperfX86.AI, // plotted at the same intensity
 		GFLOPS: float64(workloads.MatmulFLOPs(n)) / selfSec / 1e9,
 		Source: "self-reported",
 	}
 
 	// --- x86: Advisor-style PMU estimate on an uninstrumented build. ---
-	mp, _, err := buildMatmulMachine(i5, n, tile, false)
+	mp, err := i5Sess.NewOptimizedMachine(false)
 	if err != nil {
 		return nil, err
 	}
 	adv, err := roofline.PMUEstimate(mp, "matmul (Advisor-like)", func() error {
-		return workloads.RunMatmul(mp, n)
+		return i5Sess.Workload().Run(mp)
 	})
 	if err != nil {
 		return nil, err
@@ -305,18 +296,14 @@ func RunFigure4(n, tile int) (*Figure4, error) {
 	// RVV-vectorized (the rvv-bench implementation is hand-written
 	// vector code), so the kernel goes through the conservative
 	// pipeline, which does vectorize plain store loops. ---
-	msetMod := ir.NewModule("memset")
-	workloads.BuildMemset(msetMod)
 	// 8 MiB: large enough that retained-dirty lines in the cache are
 	// negligible against the streamed traffic.
 	const words = 1 << 20
-	msetMod.NewGlobal("buf", ir.I64, words)
-	if _, err := passes.RunPipeline(msetMod, passes.PipelineOptions{
-		Profile: passes.VecConservative, Lanes: x60.Core.VectorLanes32,
-	}); err != nil {
+	msetSess, err := mperf.Open("x60", "memset", mperf.WithMemsetWords(words))
+	if err != nil {
 		return nil, err
 	}
-	mm, err := vm.New(x60, msetMod)
+	mm, err := msetSess.NewOptimizedMachine(false)
 	if err != nil {
 		return nil, err
 	}
@@ -327,19 +314,10 @@ func RunFigure4(n, tile int) (*Figure4, error) {
 	res.MemsetBytesPerCycle = bpc
 
 	// --- X60: miniperf two-phase on the scalar build. ---
-	mx, _, err := buildMatmulMachine(x60, n, tile, true)
+	res.MiniperfX60, err = twoPhasePoint(x60Sess)
 	if err != nil {
 		return nil, err
 	}
-	twoX, err := roofline.RunTwoPhase(mx, "matmul", matmulArgs(mx, n))
-	if err != nil {
-		return nil, err
-	}
-	lrX, ok := twoX.LoopByFunc("matmul")
-	if !ok {
-		return nil, fmt.Errorf("experiments: X60 matmul region not measured")
-	}
-	res.MiniperfX60 = roofline.Point{Name: "matmul (miniperf)", AI: lrX.AI, GFLOPS: lrX.GFLOPS, Source: "miniperf (IR)"}
 
 	res.X60Model = &roofline.Model{
 		Platform: x60.Name,

@@ -9,6 +9,7 @@ package miniperf
 
 import (
 	"fmt"
+	"sort"
 
 	"mperf/internal/flamegraph"
 	"mperf/internal/isa"
@@ -81,13 +82,15 @@ func (t *Tool) Stat(events []isa.EventCode, run func() error) (*StatResult, erro
 	k := t.machine.Kernel()
 	fds := make([]int, 0, len(events))
 	labels := make([]string, 0, len(events))
+	defer func() {
+		for _, fd := range fds {
+			k.Close(fd)
+		}
+	}()
 	for _, ev := range events {
 		label := ev.String()
 		fd, err := k.PerfEventOpen(kernel.EventAttr{Label: label, Config: ev, Disabled: true}, -1)
 		if err != nil {
-			for _, f := range fds {
-				k.Close(f)
-			}
 			return nil, fmt.Errorf("miniperf: opening %s: %w", label, err)
 		}
 		fds = append(fds, fd)
@@ -110,7 +113,6 @@ func (t *Tool) Stat(events []isa.EventCode, run func() error) (*StatResult, erro
 			return nil, err
 		}
 		res.Values[labels[i]] = v
-		k.Close(fd)
 	}
 	res.ElapsedSeconds = float64(t.machine.Cycles()-startCycles) / t.machine.FreqHz()
 	if runErr != nil {
@@ -174,20 +176,26 @@ func (t *Tool) Record(opt RecordOptions, run func() error) (*Recording, error) {
 	if err != nil {
 		return nil, fmt.Errorf("miniperf: opening sampling leader %s: %w", leaderLabel, err)
 	}
+	group := []int{leaderFD}
+	defer func() {
+		for _, fd := range group {
+			k.Close(fd)
+		}
+	}()
 	cycFD, err := k.PerfEventOpen(kernel.EventAttr{
 		Label: "cycles", Config: isa.EventCycles, Disabled: true,
 	}, leaderFD)
 	if err != nil {
 		return nil, fmt.Errorf("miniperf: attaching cycles member: %w", err)
 	}
+	group = append(group, cycFD)
 	insFD, err := k.PerfEventOpen(kernel.EventAttr{
 		Label: "instructions", Config: isa.EventInstructions, Disabled: true,
 	}, leaderFD)
 	if err != nil {
 		return nil, fmt.Errorf("miniperf: attaching instructions member: %w", err)
 	}
-	_ = cycFD
-	_ = insFD
+	group = append(group, insFD)
 
 	if err := k.EnableGroup(leaderFD); err != nil {
 		return nil, err
@@ -205,9 +213,6 @@ func (t *Tool) Record(opt RecordOptions, run func() error) (*Recording, error) {
 		LeaderLabel: leaderLabel,
 		GroupIndex:  map[string]int{leaderLabel: 0, "cycles": 1, "instructions": 2},
 		machine:     t.machine,
-	}
-	for _, fd := range []int{leaderFD, cycFD, insFD} {
-		k.Close(fd)
 	}
 	if runErr != nil {
 		return rec, fmt.Errorf("miniperf: workload failed: %w", runErr)
@@ -362,10 +367,10 @@ func (r *Recording) Hotspots() []Hotspot {
 }
 
 func sortHotspots(hs []Hotspot) {
-	for i := 1; i < len(hs); i++ {
-		for j := i; j > 0 && (hs[j].Cycles > hs[j-1].Cycles ||
-			hs[j].Cycles == hs[j-1].Cycles && hs[j].Function < hs[j-1].Function); j-- {
-			hs[j], hs[j-1] = hs[j-1], hs[j]
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Cycles != hs[j].Cycles {
+			return hs[i].Cycles > hs[j].Cycles
 		}
-	}
+		return hs[i].Function < hs[j].Function
+	})
 }

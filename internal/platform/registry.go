@@ -1,0 +1,57 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// registry maps short CLI/API names (and aliases) to catalog
+// constructors. Every lookup of a platform by name anywhere in the
+// tree goes through Lookup, so adding a platform here makes it
+// reachable from the CLI, the public mperf API, and matrix sweeps at
+// once.
+var registry = map[string]func() *Platform{
+	"x60":  X60,
+	"u74":  U74,
+	"c910": C910,
+	"i5":   I5_1135G7,
+	"x86":  I5_1135G7, // alias
+}
+
+// Names returns one registry name per platform (the lexicographically
+// first key when aliases exist), sorted, for help text and matrix
+// sweeps. Derived from the registry map, so new entries appear
+// automatically.
+func Names() []string {
+	keyByPlatform := make(map[string]string, len(registry))
+	for key, f := range registry {
+		name := f().Name
+		if cur, ok := keyByPlatform[name]; !ok || key < cur {
+			keyByPlatform[name] = key
+		}
+	}
+	names := make([]string, 0, len(keyByPlatform))
+	for _, key := range keyByPlatform {
+		names = append(names, key)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup resolves a platform by registry name (case-insensitive).
+// It also accepts the full marketing name ("SpacemiT X60") so that
+// callers holding a Platform.Name can round-trip it.
+func Lookup(name string) (*Platform, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if f, ok := registry[key]; ok {
+		return f(), nil
+	}
+	for _, p := range Catalog() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("platform: unknown platform %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,51 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupKnownNames(t *testing.T) {
+	for name, want := range map[string]string{
+		"x60":  "SpacemiT X60",
+		"u74":  "SiFive U74",
+		"c910": "T-Head C910",
+		"i5":   "Intel Core i5-1135G7",
+		"x86":  "Intel Core i5-1135G7", // alias
+		"X60":  "SpacemiT X60",         // case-insensitive
+	} {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+			continue
+		}
+		if p.Name != want {
+			t.Errorf("Lookup(%q) = %q, want %q", name, p.Name, want)
+		}
+	}
+	// Every catalog entry is reachable by its full marketing name.
+	for _, p := range Catalog() {
+		if _, err := Lookup(p.Name); err != nil {
+			t.Errorf("Lookup(%q): %v", p.Name, err)
+		}
+	}
+}
+
+func TestLookupUnknownName(t *testing.T) {
+	_, err := Lookup("m68k")
+	if err == nil || !strings.Contains(err.Error(), "unknown platform") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNamesResolve(t *testing.T) {
+	names := Names()
+	if len(names) != len(Catalog()) {
+		t.Fatalf("Names() has %d entries, catalog %d", len(names), len(Catalog()))
+	}
+	for _, n := range names {
+		if _, err := Lookup(n); err != nil {
+			t.Errorf("registry name %q does not resolve: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mperf/internal/ir"
+	"mperf/internal/vm"
+)
+
+// Spec is one named, fully-wired workload: how to build its IR, how to
+// seed its data, and how to invoke its entry point. Everything that
+// previously required a hand-written switch over workload names
+// (machine construction in the CLIs, the experiment harness, the
+// examples) now flows through a Spec resolved from the registry.
+type Spec struct {
+	// Name is the registry key ("sqlite", "matmul", ...).
+	Name string
+	// Description is one line for help text and workload listings.
+	Description string
+	// Entry is the IR function the workload runs.
+	Entry string
+	// Build adds the workload's functions and globals to the module.
+	Build func(mod *ir.Module) error
+	// Seed writes the workload's input data into a loaded machine.
+	// May be nil when the workload needs no seeding.
+	Seed func(m *vm.Machine) error
+	// Args computes the entry-point arguments (raw bits) on a loaded
+	// machine — global addresses are only known after vm.New.
+	Args func(m *vm.Machine) ([]uint64, error)
+}
+
+// Run seeds nothing and executes the workload's entry point once.
+func (s *Spec) Run(m *vm.Machine) error {
+	args, err := s.Args(m)
+	if err != nil {
+		return err
+	}
+	_, err = m.Run(s.Entry, args...)
+	return err
+}
+
+// Params sizes a workload resolved from the registry. Zero values mean
+// the workload's defaults; fields irrelevant to a given workload are
+// ignored, so one Params can parameterize a whole matrix sweep.
+type Params struct {
+	// Sqlite overrides the synthetic sqlite3 configuration.
+	Sqlite *SqliteConfig
+	// MatmulN and MatmulTile size the tiled SGEMM (defaults 128/32).
+	MatmulN, MatmulTile int
+	// Elems is the vector length for the streaming kernels
+	// (dot/triad/stencil; default 65536).
+	Elems int
+	// MemsetWords is the memset buffer length in 8-byte words
+	// (default 1Mi words = 8 MiB).
+	MemsetWords int
+}
+
+func (p Params) elems() int {
+	if p.Elems > 0 {
+		return p.Elems
+	}
+	return 1 << 16
+}
+
+// Factory builds a Spec for the given parameters.
+type Factory func(p Params) (*Spec, error)
+
+var registry = map[string]Factory{
+	"sqlite": func(p Params) (*Spec, error) {
+		cfg := DefaultSqliteConfig()
+		if p.Sqlite != nil {
+			cfg = *p.Sqlite
+		}
+		return SqliteSpec(cfg), nil
+	},
+	"matmul": func(p Params) (*Spec, error) {
+		n, tile := p.MatmulN, p.MatmulTile
+		if n == 0 {
+			n = 128
+		}
+		if tile == 0 {
+			tile = 32
+		}
+		return MatmulSpec(n, tile)
+	},
+	"dot":     func(p Params) (*Spec, error) { return DotSpec(p.elems()), nil },
+	"triad":   func(p Params) (*Spec, error) { return TriadSpec(p.elems()), nil },
+	"stencil": func(p Params) (*Spec, error) { return StencilSpec(p.elems()), nil },
+	"memset": func(p Params) (*Spec, error) {
+		words := p.MemsetWords
+		if words == 0 {
+			words = 1 << 20
+		}
+		return MemsetSpec(words), nil
+	},
+}
+
+// Register adds a named workload factory. It errors on duplicates so
+// two packages cannot silently fight over a name.
+func Register(name string, f Factory) error {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if _, ok := registry[key]; ok {
+		return fmt.Errorf("workloads: %q already registered", key)
+	}
+	registry[key] = f
+	return nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup resolves a workload by registry name (case-insensitive) and
+// builds its Spec for the given parameters.
+func Lookup(name string, p Params) (*Spec, error) {
+	f, ok := registry[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(p)
+}
+
+// SqliteSpec wires the synthetic sqlite3 workload (§5.1's hotspot
+// study) for the given configuration.
+func SqliteSpec(cfg SqliteConfig) *Spec {
+	return &Spec{
+		Name:        "sqlite",
+		Description: "synthetic sqlite3 VDBE interpreter (hotspot study, §5.1)",
+		Entry:       "runQueries",
+		Build: func(mod *ir.Module) error {
+			_, err := BuildSqliteSim(mod, cfg)
+			return err
+		},
+		Seed: func(m *vm.Machine) error { return SeedSqlite(m, cfg) },
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			prog, err := m.GlobalAddr("bytecode")
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{prog, uint64(cfg.Queries)}, nil
+		},
+	}
+}
+
+// MatmulSpec wires the paper's tiled SGEMM kernel (§5.2).
+func MatmulSpec(n, tile int) (*Spec, error) {
+	if n <= 0 || tile <= 0 || n%tile != 0 || tile%8 != 0 {
+		return nil, fmt.Errorf("workloads: matmul needs n %% tile == 0 and tile %% 8 == 0, got n=%d tile=%d", n, tile)
+	}
+	return &Spec{
+		Name:        "matmul",
+		Description: fmt.Sprintf("cache-blocked %d×%d SGEMM, tile %d (roofline kernel, §5.2)", n, n, tile),
+		Entry:       "matmul",
+		Build: func(mod *ir.Module) error {
+			_, err := BuildMatmul(mod, n, tile)
+			return err
+		},
+		Seed: func(m *vm.Machine) error { return SeedMatmul(m, n) },
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "A", "B", "C")
+			if err != nil {
+				return nil, err
+			}
+			return append(addrs, uint64(n)), nil
+		},
+	}, nil
+}
+
+// DotSpec wires the FP dot-product reduction over n f32 elements.
+func DotSpec(n int) *Spec {
+	return &Spec{
+		Name:        "dot",
+		Description: fmt.Sprintf("f32 dot product over %d elements (FP reduction)", n),
+		Entry:       "dot",
+		Build: func(mod *ir.Module) error {
+			BuildDot(mod)
+			mod.NewGlobal("da", ir.F32, n)
+			mod.NewGlobal("db", ir.F32, n)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error {
+			if err := SeedF32(m, "da", n); err != nil {
+				return err
+			}
+			return SeedF32(m, "db", n)
+		},
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "da", "db")
+			if err != nil {
+				return nil, err
+			}
+			return append(addrs, uint64(n)), nil
+		},
+	}
+}
+
+// TriadSpec wires the STREAM triad a[i] = b[i] + s·c[i] over n f32
+// elements.
+func TriadSpec(n int) *Spec {
+	const scale = float32(1.5)
+	return &Spec{
+		Name:        "triad",
+		Description: fmt.Sprintf("STREAM triad over %d f32 elements (bandwidth kernel)", n),
+		Entry:       "triad",
+		Build: func(mod *ir.Module) error {
+			BuildTriad(mod)
+			mod.NewGlobal("ta", ir.F32, n)
+			mod.NewGlobal("tb", ir.F32, n)
+			mod.NewGlobal("tc", ir.F32, n)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error {
+			if err := SeedF32(m, "tb", n); err != nil {
+				return err
+			}
+			return SeedF32(m, "tc", n)
+		},
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "ta", "tb", "tc")
+			if err != nil {
+				return nil, err
+			}
+			return append(addrs, uint64(math.Float32bits(scale)), uint64(n)), nil
+		},
+	}
+}
+
+// StencilSpec wires the 1D three-point stencil over the interior of an
+// n-element f32 array.
+func StencilSpec(n int) *Spec {
+	return &Spec{
+		Name:        "stencil",
+		Description: fmt.Sprintf("1D 3-point stencil over %d f32 elements", n),
+		Entry:       "stencil3",
+		Build: func(mod *ir.Module) error {
+			BuildStencil(mod)
+			mod.NewGlobal("sout", ir.F32, n)
+			mod.NewGlobal("sin", ir.F32, n)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error { return SeedF32(m, "sin", n) },
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "sout", "sin")
+			if err != nil {
+				return nil, err
+			}
+			// The kernel runs 0..m over pointers offset to the first
+			// interior element; m = n-2 keeps in[i+1] in bounds.
+			return []uint64{addrs[0] + 4, addrs[1] + 4, uint64(n - 2)}, nil
+		},
+	}
+}
+
+// MemsetSpec wires the streaming memset the X60 memory roof is derived
+// from (§5.2), storing words 8-byte words.
+func MemsetSpec(words int) *Spec {
+	return &Spec{
+		Name:        "memset",
+		Description: fmt.Sprintf("streaming memset of %d 8-byte words (memory-roof kernel)", words),
+		Entry:       "memset64",
+		Build: func(mod *ir.Module) error {
+			BuildMemset(mod)
+			mod.NewGlobal("buf", ir.I64, words)
+			return nil
+		},
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			buf, err := m.GlobalAddr("buf")
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{buf, 0xAB, uint64(words)}, nil
+		},
+	}
+}
+
+// globalAddrs resolves several globals at once.
+func globalAddrs(m *vm.Machine, names ...string) ([]uint64, error) {
+	out := make([]uint64, 0, len(names))
+	for _, name := range names {
+		a, err := m.GlobalAddr(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"mperf/internal/ir"
+	"mperf/internal/platform"
+	"mperf/internal/vm"
+)
+
+func TestLookupUnknownWorkload(t *testing.T) {
+	_, err := Lookup("raytracer", Params{})
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLookupRejectsBadMatmulParams(t *testing.T) {
+	if _, err := Lookup("matmul", Params{MatmulN: 100, MatmulTile: 24}); err == nil {
+		t.Error("n % tile != 0 accepted")
+	}
+	if _, err := Lookup("matmul", Params{MatmulN: 24, MatmulTile: 12}); err == nil {
+		t.Error("tile % 8 != 0 accepted")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register("dot", func(Params) (*Spec, error) { return nil, nil }); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+// TestEverySpecRunsAndVerifies drives each registry entry end to end
+// on a small size: build, load, seed, run.
+func TestEverySpecRunsAndVerifies(t *testing.T) {
+	small := Params{
+		Sqlite:      &SqliteConfig{ProgLen: 16, Rows: 4, Queries: 1, CellArea: 256, TextArea: 256, PatLen: 4},
+		MatmulN:     16,
+		MatmulTile:  8,
+		Elems:       256,
+		MemsetWords: 256,
+	}
+	for _, name := range Names() {
+		spec, err := Lookup(name, small)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if spec.Name != name || spec.Entry == "" || spec.Description == "" {
+			t.Errorf("%s: incomplete spec %+v", name, spec)
+		}
+		mod := ir.NewModule(name)
+		if err := spec.Build(mod); err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		m, err := vm.New(platform.X60(), mod)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if spec.Seed != nil {
+			if err := spec.Seed(m); err != nil {
+				t.Fatalf("%s: seed: %v", name, err)
+			}
+		}
+		if err := spec.Run(m); err != nil {
+			t.Errorf("%s: run: %v", name, err)
+		}
+	}
+}

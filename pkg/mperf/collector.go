@@ -1,0 +1,218 @@
+package mperf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mperf/internal/miniperf"
+	"mperf/internal/roofline"
+	"mperf/internal/tma"
+)
+
+// Collector is one pluggable analysis run by a Session. Implementations
+// build whatever machine flavor they need from the session (raw for
+// counting/sampling, instrumented for the two-phase roofline), execute
+// the workload, and write their slice of the Profile.
+type Collector interface {
+	// Name is the registry key ("stat", "record", ...), recorded in
+	// Profile.Collectors and used to attribute failures.
+	Name() string
+	// Collect runs the analysis and fills the profile. An error marks
+	// this collector failed on this platform; the session continues
+	// with the remaining collectors.
+	Collect(s *Session, p *Profile) error
+}
+
+// collectorFactories maps registry names to constructors.
+var collectorFactories = map[string]func() Collector{
+	"stat":     func() Collector { return statCollector{} },
+	"record":   func() Collector { return recordCollector{} },
+	"roofline": func() Collector { return rooflineCollector{} },
+	"topdown":  func() Collector { return topdownCollector{} },
+}
+
+// RegisterCollector adds a named collector constructor. It errors on
+// duplicates.
+func RegisterCollector(name string, f func() Collector) error {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if _, ok := collectorFactories[key]; ok {
+		return fmt.Errorf("mperf: collector %q already registered", key)
+	}
+	collectorFactories[key] = f
+	return nil
+}
+
+// CollectorNames returns the registered collector names, sorted.
+func CollectorNames() []string {
+	names := make([]string, 0, len(collectorFactories))
+	for n := range collectorFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Collectors resolves collector names into instances.
+func Collectors(names ...string) ([]Collector, error) {
+	out := make([]Collector, 0, len(names))
+	for _, name := range names {
+		f, ok := collectorFactories[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("mperf: unknown collector %q (known: %s)",
+				name, strings.Join(CollectorNames(), ", "))
+		}
+		out = append(out, f())
+	}
+	return out, nil
+}
+
+// MustCollectors is Collectors for statically-known names; it panics on
+// unknown names.
+func MustCollectors(names ...string) []Collector {
+	cs, err := Collectors(names...)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// statCollector counts the session's event set around one execution —
+// the `miniperf stat` verb as a library.
+type statCollector struct{}
+
+func (statCollector) Name() string { return "stat" }
+
+func (statCollector) Collect(s *Session, p *Profile) error {
+	m, err := s.NewMachine()
+	if err != nil {
+		return err
+	}
+	tool, err := miniperf.Attach(m)
+	if err != nil {
+		return err
+	}
+	res, err := tool.Stat(s.statEvents, func() error { return s.spec.Run(m) })
+	if err != nil {
+		return err
+	}
+	p.Events = res.Values
+	p.ElapsedSeconds = res.ElapsedSeconds
+	p.IPC = res.IPC()
+	return nil
+}
+
+// recordCollector samples one execution with the overflow-group
+// workaround and aggregates the hotspot table — `miniperf record`.
+type recordCollector struct{}
+
+func (recordCollector) Name() string { return "record" }
+
+func (recordCollector) Collect(s *Session, p *Profile) error {
+	m, err := s.NewMachine()
+	if err != nil {
+		return err
+	}
+	tool, err := miniperf.Attach(m)
+	if err != nil {
+		return err
+	}
+	rec, err := tool.Record(miniperf.RecordOptions{FreqHz: s.sampleFreq},
+		func() error { return s.spec.Run(m) })
+	if err != nil {
+		return err
+	}
+	p.Recording = rec
+	p.SampleCount = len(rec.Samples)
+	p.LostSamples = rec.Lost
+	p.SamplingLeader = rec.LeaderLabel
+	for _, h := range rec.Hotspots() {
+		p.Hotspots = append(p.Hotspots, Hotspot{
+			Function:     h.Function,
+			TotalPct:     h.TotalPct,
+			Cycles:       h.Cycles,
+			Instructions: h.Instructions,
+			IPC:          h.IPC,
+		})
+	}
+	if p.IPC == 0 {
+		p.IPC = m.Hart().Core.Stats().IPC()
+	}
+	return nil
+}
+
+// rooflineCollector compiles the workload through the platform's
+// vectorizer pipeline with instrumentation, runs the two-phase
+// workflow, and places every measured region on the platform's roofs.
+type rooflineCollector struct{}
+
+func (rooflineCollector) Name() string { return "roofline" }
+
+func (rooflineCollector) Collect(s *Session, p *Profile) error {
+	m, err := s.NewOptimizedMachine(true)
+	if err != nil {
+		return err
+	}
+	args, err := s.spec.Args(m)
+	if err != nil {
+		return err
+	}
+	res, err := roofline.RunTwoPhase(m, s.spec.Entry, args)
+	if err != nil {
+		return err
+	}
+	plat := s.plat
+	model := &roofline.Model{
+		Platform: plat.Name,
+		Compute: []roofline.ComputeCeiling{
+			{Name: "theoretical peak", GFLOPS: plat.TheoreticalPeakGFLOPS},
+		},
+		Memory: []roofline.MemoryCeiling{
+			{Name: "DRAM (model channel)",
+				GiBps: plat.Core.Mem.DRAM.BytesPerCycle * plat.Core.FreqHz / (1 << 30)},
+		},
+	}
+	out := &RooflineResult{Model: model}
+	for _, pt := range res.Points() {
+		model.AddPoint(pt)
+		out.Points = append(out.Points, RooflinePoint{
+			Name:       pt.Name,
+			AI:         pt.AI,
+			GFLOPS:     pt.GFLOPS,
+			Source:     pt.Source,
+			Bound:      model.Bound(pt),
+			Efficiency: model.Efficiency(pt),
+		})
+	}
+	out.PeakGFLOPS = model.PeakGFLOPS()
+	out.MemoryGiBps = model.PeakGiBps()
+	out.RidgeAI = model.Ridge()
+	p.Roofline = out
+	return nil
+}
+
+// topdownCollector counts the level-1 TMA event set and computes the
+// slot breakdown — `miniperf topdown`.
+type topdownCollector struct{}
+
+func (topdownCollector) Name() string { return "topdown" }
+
+func (topdownCollector) Collect(s *Session, p *Profile) error {
+	m, err := s.NewMachine()
+	if err != nil {
+		return err
+	}
+	b, err := tma.Measure(m, func() error { return s.spec.Run(m) })
+	if err != nil {
+		return err
+	}
+	p.TopDown = &TopDownResult{
+		Retiring:       b.Retiring,
+		BadSpeculation: b.BadSpeculation,
+		FrontendBound:  b.FrontendBound,
+		BackendBound:   b.BackendBound,
+		Dominant:       b.Dominant(),
+		SlotsPerCycle:  b.SlotsPerCycle,
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package mperf
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mperf/internal/platform"
+	"mperf/internal/workloads"
+)
+
+// MatrixSpec describes a platforms × workloads sweep: every cell runs
+// the same collector set with the same options. Empty Platforms,
+// Workloads, or Collectors default to the full registries.
+type MatrixSpec struct {
+	Platforms  []string
+	Workloads  []string
+	Collectors []string
+	// Options apply to every cell's session (sizing, sample rate).
+	Options []Option
+	// Parallelism bounds the worker pool; <= 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// MatrixCell is one platform × workload result. Either Profile is
+// populated (possibly carrying per-collector errors) or Error explains
+// why the session could not run at all.
+type MatrixCell struct {
+	Platform string   `json:"platform"`
+	Workload string   `json:"workload"`
+	Profile  *Profile `json:"profile,omitempty"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// MatrixResult is the full sweep, cells in platform-major order.
+type MatrixResult struct {
+	Cells []MatrixCell `json:"cells"`
+}
+
+// Cell finds the result for a platform × workload pair by the names
+// given to RunMatrix.
+func (r *MatrixResult) Cell(platformName, workloadName string) (*MatrixCell, bool) {
+	for i := range r.Cells {
+		if r.Cells[i].Platform == platformName && r.Cells[i].Workload == workloadName {
+			return &r.Cells[i], true
+		}
+	}
+	return nil, false
+}
+
+// RunMatrix sweeps platforms × workloads × collectors with a bounded
+// worker pool. Names are validated against the registries up front, so
+// a typo fails fast; per-cell failures (a platform that cannot sample,
+// a workload that cannot load) are recorded in the cell and never
+// abort the sweep. The result order is deterministic regardless of
+// parallelism.
+func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
+	plats := spec.Platforms
+	if len(plats) == 0 {
+		plats = platform.Names()
+	}
+	wls := spec.Workloads
+	if len(wls) == 0 {
+		wls = workloads.Names()
+	}
+	cols := spec.Collectors
+	if len(cols) == 0 {
+		cols = CollectorNames()
+	}
+	// Validate every name before spending any simulation time.
+	for _, p := range plats {
+		if _, err := platform.Lookup(p); err != nil {
+			return nil, fmt.Errorf("mperf: %w", err)
+		}
+	}
+	for _, w := range wls {
+		if _, err := workloads.Lookup(w, workloads.Params{}); err != nil {
+			return nil, fmt.Errorf("mperf: %w", err)
+		}
+	}
+	if _, err := Collectors(cols...); err != nil {
+		return nil, err
+	}
+
+	res := &MatrixResult{Cells: make([]MatrixCell, len(plats)*len(wls))}
+	for i, p := range plats {
+		for j, w := range wls {
+			res.Cells[i*len(wls)+j] = MatrixCell{Platform: p, Workload: w}
+		}
+	}
+
+	par := spec.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(res.Cells) {
+		par = len(res.Cells)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := range res.Cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(cell *MatrixCell) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			// Each cell gets its own session and collector instances:
+			// nothing is shared across goroutines but the immutable spec.
+			cs, err := Collectors(cols...)
+			if err != nil {
+				cell.Error = err.Error()
+				return
+			}
+			sess, err := Open(cell.Platform, cell.Workload, spec.Options...)
+			if err != nil {
+				cell.Error = err.Error()
+				return
+			}
+			prof, err := sess.Run(cs...)
+			if err != nil {
+				cell.Error = err.Error()
+				return
+			}
+			cell.Profile = prof
+		}(&res.Cells[i])
+	}
+	wg.Wait()
+	return res, nil
+}

@@ -1,0 +1,227 @@
+// Package mperf is the public profiling surface of the repository: one
+// Session API over the paper's whole methodology. A session binds a
+// platform (resolved by name from the platform registry) to a workload
+// (resolved from the workload registry) and runs any set of pluggable
+// collectors — stat counting, overflow-group sampling with the X60
+// workaround, the two-phase roofline workflow, and level-1 Top-Down —
+// over coordinated executions of that one workload, returning a single
+// JSON-serializable Profile.
+//
+//	sess, _ := mperf.Open("x60", "sqlite")
+//	prof, _ := sess.Run(mperf.MustCollectors("stat", "record", "topdown")...)
+//	json.NewEncoder(os.Stdout).Encode(prof)
+//
+// RunMatrix sweeps platforms × workloads × collectors with a bounded
+// worker pool for batch scenario studies.
+package mperf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mperf/internal/ir"
+	"mperf/internal/isa"
+	"mperf/internal/passes"
+	"mperf/internal/platform"
+	"mperf/internal/vm"
+	"mperf/internal/workloads"
+)
+
+// eventsByName maps the generalized perf event names to their codes.
+var eventsByName = map[string]isa.EventCode{
+	"cycles":           isa.EventCycles,
+	"instructions":     isa.EventInstructions,
+	"cache-references": isa.EventCacheReferences,
+	"cache-misses":     isa.EventCacheMisses,
+	"branches":         isa.EventBranchInstructions,
+	"branch-misses":    isa.EventBranchMisses,
+	"stalled-cycles":   isa.EventStalledCycles,
+}
+
+// EventNames returns the generalized event names accepted by
+// WithStatEvents, sorted.
+func EventNames() []string {
+	names := make([]string, 0, len(eventsByName))
+	for n := range eventsByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// defaultStatEvents is what the stat collector counts when the caller
+// does not choose (the `miniperf stat` default set).
+var defaultStatEvents = []string{
+	"cycles", "instructions", "branches", "branch-misses",
+	"cache-references", "cache-misses",
+}
+
+// config collects the functional options before Open validates them.
+type config struct {
+	params     workloads.Params
+	sampleFreq uint64
+	statEvents []string
+}
+
+// Option configures a Session at Open time.
+type Option func(*config)
+
+// WithSqliteConfig overrides the sqlite workload's sizing.
+func WithSqliteConfig(cfg workloads.SqliteConfig) Option {
+	return func(c *config) { c.params.Sqlite = &cfg }
+}
+
+// WithMatmulSize overrides the matmul workload's dimension and tile.
+func WithMatmulSize(n, tile int) Option {
+	return func(c *config) { c.params.MatmulN, c.params.MatmulTile = n, tile }
+}
+
+// WithElems overrides the element count of the streaming kernels
+// (dot, triad, stencil).
+func WithElems(n int) Option {
+	return func(c *config) { c.params.Elems = n }
+}
+
+// WithMemsetWords overrides the memset buffer length in 8-byte words.
+func WithMemsetWords(words int) Option {
+	return func(c *config) { c.params.MemsetWords = words }
+}
+
+// WithSampleFreq sets the record collector's sampling frequency in Hz
+// (perf's -F; default 4000).
+func WithSampleFreq(hz uint64) Option {
+	return func(c *config) { c.sampleFreq = hz }
+}
+
+// WithStatEvents selects the events the stat collector counts, by
+// generalized name (see EventNames).
+func WithStatEvents(names ...string) Option {
+	return func(c *config) { c.statEvents = names }
+}
+
+// Session is one platform × workload binding, ready to run collectors.
+type Session struct {
+	plat       *platform.Platform
+	spec       *workloads.Spec
+	sampleFreq uint64
+	statEvents []isa.EventCode
+	statLabels []string
+}
+
+// Open resolves the platform and workload through their registries and
+// validates the options. Unknown names surface here, before any
+// machine is built.
+func Open(platformName, workloadName string, opts ...Option) (*Session, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	plat, err := platform.Lookup(platformName)
+	if err != nil {
+		return nil, fmt.Errorf("mperf: %w", err)
+	}
+	spec, err := workloads.Lookup(workloadName, cfg.params)
+	if err != nil {
+		return nil, fmt.Errorf("mperf: %w", err)
+	}
+	s := &Session{plat: plat, spec: spec, sampleFreq: cfg.sampleFreq}
+	names := cfg.statEvents
+	if len(names) == 0 {
+		names = defaultStatEvents
+	}
+	for _, name := range names {
+		ev, ok := eventsByName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("mperf: unknown event %q (known: %s)",
+				name, strings.Join(EventNames(), ", "))
+		}
+		s.statEvents = append(s.statEvents, ev)
+		s.statLabels = append(s.statLabels, ev.String())
+	}
+	return s, nil
+}
+
+// Platform returns the resolved platform.
+func (s *Session) Platform() *platform.Platform { return s.plat }
+
+// Workload returns the resolved workload spec.
+func (s *Session) Workload() *workloads.Spec { return s.spec }
+
+// SampleFreq returns the configured sampling frequency (0 = default).
+func (s *Session) SampleFreq() uint64 { return s.sampleFreq }
+
+// StatLabels returns the stat event labels in request order, for
+// ordered rendering of Profile.Events.
+func (s *Session) StatLabels() []string {
+	return append([]string(nil), s.statLabels...)
+}
+
+// NewMachine builds the workload unoptimized on a fresh hart — the raw
+// build the counting and sampling collectors profile, with cold caches
+// and a zeroed PMU.
+func (s *Session) NewMachine() (*vm.Machine, error) {
+	return s.build(false, false)
+}
+
+// NewOptimizedMachine compiles the workload through the platform's
+// vectorizer pipeline (the per-target builds of §5.2) on a fresh hart.
+// With instrument set, the roofline instrumentation pass adds the
+// two-phase region counters.
+func (s *Session) NewOptimizedMachine(instrument bool) (*vm.Machine, error) {
+	return s.build(true, instrument)
+}
+
+func (s *Session) build(optimize, instrument bool) (*vm.Machine, error) {
+	mod := ir.NewModule(s.spec.Name)
+	if err := s.spec.Build(mod); err != nil {
+		return nil, fmt.Errorf("mperf: building %s: %w", s.spec.Name, err)
+	}
+	if optimize {
+		profile, err := passes.ProfileByName(s.plat.VectorizerProfile)
+		if err != nil {
+			return nil, fmt.Errorf("mperf: %w", err)
+		}
+		if _, err := passes.RunPipeline(mod, passes.PipelineOptions{
+			Profile:    profile,
+			Lanes:      s.plat.Core.VectorLanes32,
+			Interleave: true,
+			Instrument: instrument,
+		}); err != nil {
+			return nil, fmt.Errorf("mperf: pipeline for %s: %w", s.spec.Name, err)
+		}
+	}
+	m, err := vm.New(s.plat, mod)
+	if err != nil {
+		return nil, fmt.Errorf("mperf: loading %s on %s: %w", s.spec.Name, s.plat.Name, err)
+	}
+	if s.spec.Seed != nil {
+		if err := s.spec.Seed(m); err != nil {
+			return nil, fmt.Errorf("mperf: seeding %s: %w", s.spec.Name, err)
+		}
+	}
+	return m, nil
+}
+
+// Run executes each collector over a coordinated execution of the
+// session's workload (each collector gets a fresh cold machine, so the
+// runs are independent and deterministic) and merges the results into
+// one Profile. A collector failure is recorded as a typed error on the
+// profile rather than aborting the remaining collectors; Run itself
+// errors only on misuse (no collectors).
+func (s *Session) Run(collectors ...Collector) (*Profile, error) {
+	if len(collectors) == 0 {
+		return nil, fmt.Errorf("mperf: Run needs at least one collector")
+	}
+	p := &Profile{
+		Platform: platformInfo(s.plat),
+		Workload: s.spec.Name,
+	}
+	for _, c := range collectors {
+		p.Collectors = append(p.Collectors, c.Name())
+		if err := c.Collect(s, p); err != nil {
+			p.Errors = append(p.Errors, CollectorError{Collector: c.Name(), Message: err.Error()})
+		}
+	}
+	return p, nil
+}
