@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report on stdout: ns/op plus every custom
+// metric (the reproduced paper figures the benches report). With
+// -baseline it also computes speedups and metric drift against a
+// recorded earlier run, which is how the repository tracks benchmark
+// trajectory across PRs (see scripts/bench.sh and BENCH_PR2.json).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's parsed result.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+
+	// Comparison against the baseline file, when one is given and
+	// contains this benchmark.
+	BaselineNsPerOp float64            `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64            `json:"speedup,omitempty"`
+	MetricDriftPct  map[string]float64 `json:"metric_drift_pct,omitempty"`
+}
+
+// Report is the full output document.
+type Report struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Bench           `json:"benchmarks"`
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+func parseBenchLine(fields []string) (Bench, bool) {
+	// BenchmarkName  N  12345 ns/op  [value unit]...
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip Go's -GOMAXPROCS suffix ("Name-8") so results match
+	// baselines recorded on hosts with a different core count.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Bench{Name: name, Iterations: n}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "JSON report of an earlier run to compare against")
+	flag.Parse()
+
+	var baseline map[string]Bench
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fail(fmt.Errorf("%s: %w", *baselinePath, err))
+		}
+		baseline = make(map[string]Bench, len(rep.Benchmarks))
+		for _, b := range rep.Benchmarks {
+			baseline[b.Name] = b
+		}
+	}
+
+	rep := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 2 {
+			switch fields[0] {
+			case "goos:", "goarch:", "pkg:":
+				rep.Context[strings.TrimSuffix(fields[0], ":")] = fields[1]
+			}
+		}
+		if strings.HasPrefix(line, "cpu:") {
+			rep.Context["cpu"] = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		b, ok := parseBenchLine(fields)
+		if !ok {
+			continue
+		}
+		if base, ok := baseline[b.Name]; ok && base.NsPerOp > 0 && b.NsPerOp > 0 {
+			b.BaselineNsPerOp = base.NsPerOp
+			b.Speedup = base.NsPerOp / b.NsPerOp
+			for unit, v := range b.Metrics {
+				bv, ok := base.Metrics[unit]
+				if !ok || bv == 0 {
+					continue
+				}
+				if b.MetricDriftPct == nil {
+					b.MetricDriftPct = make(map[string]float64)
+				}
+				b.MetricDriftPct[unit] = 100 * (v - bv) / bv
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+}

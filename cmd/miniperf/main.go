@@ -27,7 +27,8 @@
 //	    Sweep platforms × workloads × collectors in parallel.
 //
 // Every verb accepts -json to emit the machine-readable Profile
-// instead of the rendered text.
+// instead of the rendered text, and -cpuprofile/-memprofile to profile
+// the profiler itself with pprof.
 package main
 
 import (
@@ -35,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mperf/internal/miniperf"
@@ -44,9 +47,52 @@ import (
 	"mperf/pkg/mperf"
 )
 
+// stopProfiles finalizes any active pprof outputs; it must run on
+// every exit path (including fail) so the profile files are valid.
+var stopProfiles = func() {}
+
 func fail(err error) {
+	stopProfiles()
 	fmt.Fprintf(os.Stderr, "miniperf: %v\n", err)
 	os.Exit(1)
+}
+
+// startProfiles turns on the requested pprof collectors and arranges
+// for them to be flushed by stopProfiles.
+func startProfiles(cpuProfile, memProfile string) {
+	stopCPU, stopMem := func() {}, func() {}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memProfile != "" {
+		stopMem = func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "miniperf: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is meaningful
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "miniperf: %v\n", err)
+			}
+		}
+	}
+	stopProfiles = func() {
+		stopCPU()
+		stopMem()
+		stopProfiles = func() {}
+	}
 }
 
 func emitJSON(v any) {
@@ -91,7 +137,11 @@ func main() {
 	workloadList := fs.String("workloads", "all", "matrix: comma-separated workloads, or all")
 	parallel := fs.Int("parallel", 0, "matrix: worker pool size (0 = GOMAXPROCS)")
 	asJSON := fs.Bool("json", false, "emit the profile as JSON instead of rendered text")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of miniperf itself here")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile of miniperf itself here")
 	fs.Parse(os.Args[2:])
+	startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 	workloadSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "workload" {
@@ -278,6 +328,7 @@ func main() {
 		fmt.Println(t.String())
 
 	default:
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "miniperf: unknown verb %q\n", verb)
 		os.Exit(2)
 	}

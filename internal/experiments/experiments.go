@@ -103,17 +103,37 @@ func topN(hs []miniperf.Hotspot, n int) []miniperf.Hotspot {
 	return hs[:n]
 }
 
+// runSqlitePair profiles the sqlite workload on two platforms
+// concurrently (each session simulates on its own hart, so the two
+// cells are independent).
+func runSqlitePair(cfg workloads.SqliteConfig) (x60, i5 *sqliteSession, err error) {
+	err = mperf.Parallel(0,
+		func() error {
+			s, err := runSqliteOn("x60", cfg)
+			if err != nil {
+				return fmt.Errorf("experiments: X60 session: %w", err)
+			}
+			x60 = s
+			return nil
+		},
+		func() error {
+			s, err := runSqliteOn("i5", cfg)
+			if err != nil {
+				return fmt.Errorf("experiments: i5 session: %w", err)
+			}
+			i5 = s
+			return nil
+		})
+	return x60, i5, err
+}
+
 // RunTable2 profiles the synthetic sqlite3 workload on the X60 and the
 // x86 reference and reports the top-3 hotspots with Total %,
 // instructions and IPC, as the paper's Table 2 does.
 func RunTable2(cfg workloads.SqliteConfig) (*Table2, error) {
-	x60, err := runSqliteOn("x60", cfg)
+	x60, i5, err := runSqlitePair(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: X60 session: %w", err)
-	}
-	i5, err := runSqliteOn("i5", cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: i5 session: %w", err)
+		return nil, err
 	}
 	res := &Table2{
 		X60: x60, I5: i5,
@@ -150,11 +170,7 @@ type Figure3 struct {
 
 // RunFigure3 renders the flame graphs from the Table 2 recordings.
 func RunFigure3(cfg workloads.SqliteConfig) (*Figure3, error) {
-	x60, err := runSqliteOn("x60", cfg)
-	if err != nil {
-		return nil, err
-	}
-	i5, err := runSqliteOn("i5", cfg)
+	x60, i5, err := runSqlitePair(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +241,10 @@ func twoPhasePoint(sess *mperf.Session) (roofline.Point, error) {
 	}, nil
 }
 
-// RunFigure4 performs the full roofline comparison.
+// RunFigure4 performs the full roofline comparison. The five
+// measurements (three x86 methodologies, the X60 memset roof and the
+// X60 kernel point) are independent simulations on separate harts, so
+// they fan out over the shared worker pool.
 func RunFigure4(n, tile int) (*Figure4, error) {
 	res := &Figure4{N: n, Tile: tile}
 	i5Sess, err := matmulSession("i5", n, tile)
@@ -239,42 +258,98 @@ func RunFigure4(n, tile int) (*Figure4, error) {
 	i5 := i5Sess.Platform()
 	x60 := x60Sess.Platform()
 
-	// --- x86: miniperf (compiler-driven, two-phase). ---
-	res.MiniperfX86, err = twoPhasePoint(i5Sess)
+	var selfSec float64
+	err = mperf.Parallel(0,
+		// --- x86: miniperf (compiler-driven, two-phase). ---
+		func() error {
+			p, err := twoPhasePoint(i5Sess)
+			if err != nil {
+				return err
+			}
+			res.MiniperfX86 = p
+			return nil
+		},
+		// --- x86: the benchmark's self-reported figure (nominal 2n³
+		// FLOPs over its own wall time, on an uninstrumented build). ---
+		func() error {
+			sess, err := matmulSession("i5", n, tile)
+			if err != nil {
+				return err
+			}
+			ms, err := sess.NewOptimizedMachine(false)
+			if err != nil {
+				return err
+			}
+			start := ms.Cycles()
+			if err := sess.Workload().Run(ms); err != nil {
+				return err
+			}
+			selfSec = float64(ms.Cycles()-start) / ms.FreqHz()
+			return nil
+		},
+		// --- x86: Advisor-style PMU estimate on an uninstrumented build. ---
+		func() error {
+			sess, err := matmulSession("i5", n, tile)
+			if err != nil {
+				return err
+			}
+			mp, err := sess.NewOptimizedMachine(false)
+			if err != nil {
+				return err
+			}
+			adv, err := roofline.PMUEstimate(mp, "matmul (Advisor-like)", func() error {
+				return sess.Workload().Run(mp)
+			})
+			if err != nil {
+				return err
+			}
+			res.AdvisorLike = adv
+			return nil
+		},
+		// --- X60: memset-derived memory roof. The reference memset is
+		// RVV-vectorized (the rvv-bench implementation is hand-written
+		// vector code), so the kernel goes through the conservative
+		// pipeline, which does vectorize plain store loops. ---
+		// 8 MiB: large enough that retained-dirty lines in the cache are
+		// negligible against the streamed traffic.
+		func() error {
+			const words = 1 << 20
+			msetSess, err := mperf.Open("x60", "memset", mperf.WithMemsetWords(words))
+			if err != nil {
+				return err
+			}
+			mm, err := msetSess.NewOptimizedMachine(false)
+			if err != nil {
+				return err
+			}
+			bpc, err := workloads.MemsetStoredBytesPerCycle(mm, "buf", words)
+			if err != nil {
+				return err
+			}
+			res.MemsetBytesPerCycle = bpc
+			return nil
+		},
+		// --- X60: miniperf two-phase on the scalar build. ---
+		func() error {
+			p, err := twoPhasePoint(x60Sess)
+			if err != nil {
+				return err
+			}
+			res.MiniperfX60 = p
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
 
-	// --- x86: the benchmark's self-reported figure (nominal 2n³ FLOPs
-	// over its own wall time, on an uninstrumented build). ---
-	ms, err := i5Sess.NewOptimizedMachine(false)
-	if err != nil {
-		return nil, err
-	}
-	start := ms.Cycles()
-	if err := i5Sess.Workload().Run(ms); err != nil {
-		return nil, err
-	}
-	selfSec := float64(ms.Cycles()-start) / ms.FreqHz()
+	// The self-reported figure is plotted at the miniperf-measured
+	// intensity, so its point is assembled after the fan-out.
 	res.SelfReported = roofline.Point{
 		Name:   "matmul (self-reported)",
-		AI:     res.MiniperfX86.AI, // plotted at the same intensity
+		AI:     res.MiniperfX86.AI,
 		GFLOPS: float64(workloads.MatmulFLOPs(n)) / selfSec / 1e9,
 		Source: "self-reported",
 	}
-
-	// --- x86: Advisor-style PMU estimate on an uninstrumented build. ---
-	mp, err := i5Sess.NewOptimizedMachine(false)
-	if err != nil {
-		return nil, err
-	}
-	adv, err := roofline.PMUEstimate(mp, "matmul (Advisor-like)", func() error {
-		return i5Sess.Workload().Run(mp)
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.AdvisorLike = adv
 
 	res.X86Model = &roofline.Model{
 		Platform: i5.Name,
@@ -292,33 +367,7 @@ func RunFigure4(n, tile int) (*Figure4, error) {
 	res.X86Model.AddPoint(res.SelfReported)
 	res.X86Model.AddPoint(res.AdvisorLike)
 
-	// --- X60: memset-derived memory roof. The reference memset is
-	// RVV-vectorized (the rvv-bench implementation is hand-written
-	// vector code), so the kernel goes through the conservative
-	// pipeline, which does vectorize plain store loops. ---
-	// 8 MiB: large enough that retained-dirty lines in the cache are
-	// negligible against the streamed traffic.
-	const words = 1 << 20
-	msetSess, err := mperf.Open("x60", "memset", mperf.WithMemsetWords(words))
-	if err != nil {
-		return nil, err
-	}
-	mm, err := msetSess.NewOptimizedMachine(false)
-	if err != nil {
-		return nil, err
-	}
-	bpc, err := workloads.MemsetStoredBytesPerCycle(mm, "buf", words)
-	if err != nil {
-		return nil, err
-	}
-	res.MemsetBytesPerCycle = bpc
-
-	// --- X60: miniperf two-phase on the scalar build. ---
-	res.MiniperfX60, err = twoPhasePoint(x60Sess)
-	if err != nil {
-		return nil, err
-	}
-
+	bpc := res.MemsetBytesPerCycle
 	res.X60Model = &roofline.Model{
 		Platform: x60.Name,
 		Compute: []roofline.ComputeCeiling{

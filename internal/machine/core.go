@@ -24,10 +24,30 @@ func (b *DeltaBatch) Add(s isa.Signal, v uint64) {
 	b.N++
 }
 
+// AddWatched appends one signal increment only when the sink's watch
+// mask covers the signal, so unobserved signals cost one branch
+// instead of a batch slot and an Apply iteration.
+func (b *DeltaBatch) AddWatched(mask uint64, s isa.Signal, v uint64) {
+	if v == 0 || mask&(1<<uint(s)) == 0 || b.N >= len(b.Sig) {
+		return
+	}
+	b.Sig[b.N] = s
+	b.Val[b.N] = v
+	b.N++
+}
+
 // EventSink receives the architectural signal stream from a core.
 // The PMU model implements this; a nil sink disables event delivery.
 type EventSink interface {
 	Apply(b *DeltaBatch)
+	// WatchMask reports which signals currently have a consumer, as a
+	// bitmask indexed by isa.Signal. A zero mask means the sink is idle:
+	// the core then takes a fused fast path that skips delta bookkeeping
+	// and batch construction entirely, so the sink must not rely on
+	// seeing every batch. With a non-zero mask the core still skips
+	// individual signals outside the mask. Statistics and timing are
+	// unaffected either way.
+	WatchMask() uint64
 }
 
 const scoreboardSize = 1024 // power of two; slots are hashed with a mask
@@ -90,6 +110,25 @@ type Core struct {
 	priv      isa.PrivMode
 	pc        uint64
 	nextTimer uint64
+
+	// sinkMask caches the sink's watch mask between refreshes. PMU
+	// configuration only changes between workload runs (kernel perf
+	// calls never interleave with interpretation), so the interpreter
+	// refreshes it at block boundaries instead of paying an interface
+	// call per uop.
+	sinkMask      uint64
+	sinkMaskValid bool
+
+	// Flush marks for batched time-signal delivery. While only
+	// cycle/instret/mode-cycle counters are watched, uops run through
+	// the fused quiet path and FlushEvents reconstructs the deltas
+	// since the last flush from these marks at block boundaries.
+	// Sample PCs are block-granular anyway, so batching adds at most
+	// one block of skid — far below any sampling period — while total
+	// counts stay exact.
+	flushCycles     uint64
+	flushInstretFx  uint64
+	timerSinceFlush uint64
 
 	batch DeltaBatch
 	stats Stats
@@ -165,7 +204,70 @@ func (c *Core) Priv() isa.PrivMode { return c.priv }
 func (c *Core) SetPriv(m isa.PrivMode) { c.priv = m }
 
 // SetSink installs the architectural event sink.
-func (c *Core) SetSink(s EventSink) { c.sink = s }
+func (c *Core) SetSink(s EventSink) {
+	c.sink = s
+	c.sinkMaskValid = false
+}
+
+// RefreshSinkMask re-reads the sink's watch mask. The interpreter
+// calls this at block boundaries; anyone reconfiguring counters while
+// driving Exec directly should call it before the next uop.
+func (c *Core) RefreshSinkMask() {
+	c.sinkMask = 0
+	if c.sink != nil {
+		c.sinkMask = c.sink.WatchMask()
+	}
+	c.sinkMaskValid = true
+}
+
+// FlushEvents delivers the time-signal deltas accumulated since the
+// last flush (reconstructed from the cycle/instret flush marks) to the
+// sink. Sampling overflow fires here, so callers must flush before
+// reading counters or changing the sink configuration. The marks are
+// advanced unconditionally, so enabling counters mid-session never
+// replays history.
+func (c *Core) FlushEvents() {
+	cycleDelta := c.cycles - c.flushCycles
+	instretDelta := (c.instretFx - c.flushInstretFx) >> 8
+	timerCycles := c.timerSinceFlush
+	c.flushCycles = c.cycles
+	// Advance the instret mark by whole instructions only, carrying the
+	// fixed-point remainder into the next window — otherwise fractional
+	// expansion factors (x86) leak up to one instruction per flush.
+	c.flushInstretFx += instretDelta << 8
+	c.timerSinceFlush = 0
+	if cycleDelta == 0 && instretDelta == 0 {
+		return
+	}
+	mask := c.sinkMask
+	if mask == 0 || c.sink == nil {
+		return
+	}
+	b := &c.batch
+	b.N = 0
+	b.AddWatched(mask, isa.SigCycle, cycleDelta)
+	b.AddWatched(mask, isa.SigInstret, instretDelta)
+	userCycles := cycleDelta - timerCycles
+	switch c.priv {
+	case isa.PrivU:
+		b.AddWatched(mask, isa.SigUModeCycle, userCycles)
+	case isa.PrivS:
+		b.AddWatched(mask, isa.SigSModeCycle, userCycles)
+	case isa.PrivM:
+		b.AddWatched(mask, isa.SigMModeCycle, userCycles)
+	}
+	b.AddWatched(mask, isa.SigSModeCycle, timerCycles)
+	if b.N > 0 {
+		c.sink.Apply(b)
+	}
+}
+
+// BlockBoundary marks a basic-block transition: batched deltas are
+// flushed and the sink mask is re-read.
+func (c *Core) BlockBoundary() {
+	c.FlushEvents()
+	c.RefreshSinkMask()
+}
 
 // Reset returns the core to its post-construction state.
 func (c *Core) Reset() {
@@ -186,6 +288,8 @@ func (c *Core) Reset() {
 	c.bp.reset()
 	c.memh.Reset()
 	c.stats = Stats{}
+	c.sinkMaskValid = false
+	c.flushCycles, c.flushInstretFx, c.timerSinceFlush = 0, 0, 0
 	c.nextTimer = 0
 	if c.cfg.TimerIntervalCycles > 0 {
 		c.nextTimer = c.cfg.TimerIntervalCycles
@@ -194,6 +298,19 @@ func (c *Core) Reset() {
 
 // Exec executes one micro-op, advancing time and emitting signals.
 func (c *Core) Exec(u *Uop) {
+	if !c.sinkMaskValid {
+		c.RefreshSinkMask()
+	}
+	mask := c.sinkMask
+	if mask&^timeSigMask == 0 {
+		// Idle, or only cycle/instret/mode-cycle counters are watched
+		// (the X60 sampling workaround): those deltas are running sums,
+		// so the fused quiet path charges the uop and FlushEvents
+		// reconstructs the batch from the flush marks at the next block
+		// boundary.
+		c.execQuiet(u)
+		return
+	}
 	startCycles := c.cycles
 	startInstret := c.instretFx >> 8
 	startStalls := c.stats.StallCycles
@@ -222,7 +339,190 @@ func (c *Core) Exec(u *Uop) {
 		c.stats.TimerTicks++
 	}
 
-	c.emit(u, startCycles, startInstret, startStalls, access, mispredict, timerCycles)
+	c.emit(u, mask, startCycles, startInstret, startStalls, access, mispredict, timerCycles)
+	// Per-uop delivery keeps the flush marks current so a later
+	// time-only (batched) phase starts from a clean window.
+	c.flushCycles = c.cycles
+	c.flushInstretFx = c.instretFx
+	c.timerSinceFlush = 0
+}
+
+// timeSigMask covers the pure time/instruction signals: the set the
+// X60 sampling workaround watches (mode-cycle leader plus cycles and
+// instret members). When nothing outside it is watched, uops take the
+// quiet path and FlushEvents delivers the batched deltas.
+const timeSigMask = 1<<uint(isa.SigCycle) | 1<<uint(isa.SigInstret) |
+	1<<uint(isa.SigUModeCycle) | 1<<uint(isa.SigSModeCycle) | 1<<uint(isa.SigMModeCycle)
+
+// execQuiet is the fused fast path taken while no sink consumer is
+// active: it charges time and accumulates statistics exactly like the
+// full path, but skips the delta snapshots and DeltaBatch construction
+// that only matter when counters or samplers are observing the stream.
+// The pipeline models are inlined (rather than calling execInOrder /
+// execOutOfOrder) so non-memory uops never touch an AccessResult;
+// TestQuietPathMatchesObserved pins the equivalence.
+func (c *Core) execQuiet(u *Uop) {
+	if c.cfg.Kind == InOrder {
+		c.execQuietInOrder(u)
+	} else {
+		c.execQuietOutOfOrder(u)
+	}
+
+	c.instretFx += uint64(c.cfg.expansion(u.Class))
+	c.stats.Uops++
+
+	if c.nextTimer != 0 && c.cycles >= c.nextTimer {
+		timerCycles := c.cfg.TimerHandlerCycles
+		c.cycles += timerCycles
+		c.instretFx += timerCycles << 8
+		c.nextTimer += c.cfg.TimerIntervalCycles
+		c.stats.TimerTicks++
+		// Tracked so FlushEvents can attribute handler time to S-mode.
+		c.timerSinceFlush += timerCycles
+	}
+
+	flops := uint64(u.Flops)
+	specFlops := flops
+	if flops > 0 && c.replayFP > 0 {
+		specFlops += flops
+		c.replayFP--
+	}
+	c.stats.Flops += flops
+	c.stats.SpecFlops += specFlops
+	c.stats.IntOps += uint64(u.IntOps)
+}
+
+// execQuietInOrder mirrors execInOrder with the memory/branch event
+// bookkeeping folded into the class switch.
+func (c *Core) execQuietInOrder(u *Uop) {
+	earliest := c.cycles
+	if u.Src1 >= 0 {
+		if r := c.ready[uint32(u.Src1)&(scoreboardSize-1)]; r > earliest {
+			earliest = r
+		}
+	}
+	if u.Src2 >= 0 {
+		if r := c.ready[uint32(u.Src2)&(scoreboardSize-1)]; r > earliest {
+			earliest = r
+		}
+	}
+	if u.Src3 >= 0 {
+		if r := c.ready[uint32(u.Src3)&(scoreboardSize-1)]; r > earliest {
+			earliest = r
+		}
+	}
+	if earliest > c.cycles {
+		c.stats.StallCycles += earliest - c.cycles
+		c.cycles = earliest
+		c.issued = 0
+	}
+	if c.issued >= c.cfg.IssueWidth {
+		c.cycles++
+		c.issued = 0
+	}
+
+	lat := c.cfg.Latency[u.Class]
+	switch u.Class {
+	case OpLoad, OpVecLoad:
+		access := c.memh.Access(c.cycles, u.Addr, int(u.Size), false)
+		lat += access.Latency
+		c.chargeQuietAccess(access)
+		c.stats.Loads++
+	case OpStore, OpVecStore:
+		access := c.memh.Access(c.cycles, u.Addr, int(u.Size), true)
+		complete := c.cycles + access.PostedLatency
+		oldest := c.storeBuf[c.storeHead]
+		if oldest > c.cycles {
+			c.stats.StallCycles += oldest - c.cycles
+			c.cycles = oldest
+			c.issued = 0
+			if complete < c.cycles {
+				complete = c.cycles
+			}
+		}
+		c.storeBuf[c.storeHead] = complete
+		c.storeHead = (c.storeHead + 1) % len(c.storeBuf)
+		c.chargeQuietAccess(access)
+		c.stats.Stores++
+	case OpBranch:
+		if c.bp.conditional(u.BrID, u.Taken) {
+			c.cycles += c.cfg.MispredictPenalty
+			c.issued = 0
+		}
+	case OpIndirect:
+		if c.bp.indirect(u.BrID, u.Target) {
+			c.cycles += c.cfg.MispredictPenalty
+			c.issued = 0
+		}
+	}
+
+	c.issued++
+	if u.Dst >= 0 {
+		c.ready[uint32(u.Dst)&(scoreboardSize-1)] = c.cycles + lat
+	}
+}
+
+// execQuietOutOfOrder mirrors execOutOfOrder the same way.
+func (c *Core) execQuietOutOfOrder(u *Uop) {
+	c.fracCycle += 256 / uint64(c.cfg.IssueWidth)
+	if c.fracCycle >= 256 {
+		c.cycles += c.fracCycle >> 8
+		c.fracCycle &= 255
+	}
+
+	switch u.Class {
+	case OpLoad, OpVecLoad:
+		access := c.memh.Access(c.cycles, u.Addr, int(u.Size), false)
+		if access.L1Miss {
+			pen := access.Latency / uint64(c.cfg.MLP)
+			c.cycles += pen
+			c.stats.StallCycles += pen
+			c.replayFP = 8
+		}
+		c.chargeQuietAccess(access)
+		c.stats.Loads++
+	case OpStore, OpVecStore:
+		access := c.memh.Access(c.cycles, u.Addr, int(u.Size), true)
+		complete := c.cycles + access.PostedLatency
+		oldest := c.storeBuf[c.storeHead]
+		if oldest > c.cycles {
+			c.stats.StallCycles += oldest - c.cycles
+			c.cycles = oldest
+			if complete < c.cycles {
+				complete = c.cycles
+			}
+		}
+		c.storeBuf[c.storeHead] = complete
+		c.storeHead = (c.storeHead + 1) % len(c.storeBuf)
+		c.chargeQuietAccess(access)
+		c.stats.Stores++
+	case OpIntDiv, OpFPDiv:
+		pen := c.cfg.Latency[u.Class] / 2
+		c.cycles += pen
+		c.stats.StallCycles += pen
+	case OpBranch:
+		if c.bp.conditional(u.BrID, u.Taken) {
+			c.cycles += c.cfg.MispredictPenalty
+			c.stats.StallCycles += c.cfg.MispredictPenalty
+		}
+	case OpIndirect:
+		if c.bp.indirect(u.BrID, u.Target) {
+			c.cycles += c.cfg.MispredictPenalty
+			c.stats.StallCycles += c.cfg.MispredictPenalty
+		}
+	}
+}
+
+// chargeQuietAccess folds a memory access's event counts into the
+// statistics (the quiet-path counterpart of emit's access section).
+func (c *Core) chargeQuietAccess(access mem.AccessResult) {
+	if access.L1Miss {
+		c.stats.L1DMisses++
+	}
+	if access.L2Miss {
+		c.stats.L2Misses++
+	}
+	c.stats.DRAMBytes += access.DRAMBytes
 }
 
 // execInOrder charges time through the register scoreboard.
@@ -345,7 +645,8 @@ func (c *Core) execOutOfOrder(u *Uop) (access mem.AccessResult, mispredict bool)
 }
 
 // emit folds the uop's effects into statistics and the event sink.
-func (c *Core) emit(u *Uop, startCycles, startInstret, startStalls uint64,
+// Signals outside the sink's watch mask are skipped at construction.
+func (c *Core) emit(u *Uop, mask uint64, startCycles, startInstret, startStalls uint64,
 	access mem.AccessResult, mispredict bool, timerCycles uint64) {
 
 	cycleDelta := c.cycles - startCycles
@@ -382,52 +683,54 @@ func (c *Core) emit(u *Uop, startCycles, startInstret, startStalls uint64,
 	}
 	b := &c.batch
 	b.N = 0
-	b.Add(isa.SigCycle, cycleDelta)
-	b.Add(isa.SigInstret, instretDelta)
+	b.AddWatched(mask, isa.SigCycle, cycleDelta)
+	b.AddWatched(mask, isa.SigInstret, instretDelta)
 	// Mode-cycle signals come after the base counters so that a
 	// sampling leader bound to one of them observes fully-updated
 	// cycles/instret values in its group snapshot.
 	userCycles := cycleDelta - timerCycles
 	switch c.priv {
 	case isa.PrivU:
-		b.Add(isa.SigUModeCycle, userCycles)
+		b.AddWatched(mask, isa.SigUModeCycle, userCycles)
 	case isa.PrivS:
-		b.Add(isa.SigSModeCycle, userCycles)
+		b.AddWatched(mask, isa.SigSModeCycle, userCycles)
 	case isa.PrivM:
-		b.Add(isa.SigMModeCycle, userCycles)
+		b.AddWatched(mask, isa.SigMModeCycle, userCycles)
 	}
-	b.Add(isa.SigSModeCycle, timerCycles)
+	b.AddWatched(mask, isa.SigSModeCycle, timerCycles)
 	switch u.Class {
 	case OpLoad, OpVecLoad:
-		b.Add(isa.SigLoad, 1)
-		b.Add(isa.SigL1DAccess, 1)
+		b.AddWatched(mask, isa.SigLoad, 1)
+		b.AddWatched(mask, isa.SigL1DAccess, 1)
 	case OpStore, OpVecStore:
-		b.Add(isa.SigStore, 1)
-		b.Add(isa.SigL1DAccess, 1)
+		b.AddWatched(mask, isa.SigStore, 1)
+		b.AddWatched(mask, isa.SigL1DAccess, 1)
 	case OpBranch, OpIndirect:
-		b.Add(isa.SigBranch, 1)
+		b.AddWatched(mask, isa.SigBranch, 1)
 		if mispredict {
-			b.Add(isa.SigBranchMiss, 1)
+			b.AddWatched(mask, isa.SigBranchMiss, 1)
 		}
 	}
 	if access.L1Miss {
-		b.Add(isa.SigL1DMiss, 1)
-		b.Add(isa.SigL2Access, 1)
+		b.AddWatched(mask, isa.SigL1DMiss, 1)
+		b.AddWatched(mask, isa.SigL2Access, 1)
 	}
 	if access.L2Miss {
-		b.Add(isa.SigL2Miss, 1)
+		b.AddWatched(mask, isa.SigL2Miss, 1)
 	}
-	b.Add(isa.SigStall, stallDelta)
-	b.Add(isa.SigDRAMBytes, access.DRAMBytes)
+	b.AddWatched(mask, isa.SigStall, stallDelta)
+	b.AddWatched(mask, isa.SigDRAMBytes, access.DRAMBytes)
 	if u.Class.IsFP() {
 		if u.Class.IsVector() {
-			b.Add(isa.SigVecFPOp, 1)
+			b.AddWatched(mask, isa.SigVecFPOp, 1)
 		} else {
-			b.Add(isa.SigFPOp, 1)
+			b.AddWatched(mask, isa.SigFPOp, 1)
 		}
 	}
-	b.Add(isa.SigFPFlop, flops)
-	b.Add(isa.SigSpecFlop, specFlops)
-	b.Add(isa.SigIntOp, uint64(u.IntOps))
-	c.sink.Apply(b)
+	b.AddWatched(mask, isa.SigFPFlop, flops)
+	b.AddWatched(mask, isa.SigSpecFlop, specFlops)
+	b.AddWatched(mask, isa.SigIntOp, uint64(u.IntOps))
+	if b.N > 0 {
+		c.sink.Apply(b)
+	}
 }

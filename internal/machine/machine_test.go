@@ -254,6 +254,124 @@ func (r *recordingSink) Apply(b *DeltaBatch) {
 	}
 }
 
+// WatchMask reports every signal watched: the recording sink observes
+// every batch in full.
+func (r *recordingSink) WatchMask() uint64 { return ^uint64(0) }
+
+// timeOnlySink watches only the cycle/instret/mode-cycle signals (the
+// X60 sampling-workaround set), which routes uops through the batched
+// block-boundary delivery path.
+type timeOnlySink struct{ recordingSink }
+
+func (t *timeOnlySink) WatchMask() uint64 {
+	return 1<<uint(isa.SigCycle) | 1<<uint(isa.SigInstret) |
+		1<<uint(isa.SigUModeCycle) | 1<<uint(isa.SigSModeCycle) | 1<<uint(isa.SigMModeCycle)
+}
+
+// TestBatchedTimeDeltasSumExactly pins the batched delivery path: with
+// a time-only watcher, deltas accumulate across uops and flush at
+// block boundaries, and their totals must equal the core's own
+// counters exactly — including the S-mode attribution of timer ticks.
+func TestBatchedTimeDeltasSumExactly(t *testing.T) {
+	cfg := inOrderConfig()
+	cfg.TimerIntervalCycles = 1000
+	cfg.TimerHandlerCycles = 50
+	var sink timeOnlySink
+	c := NewCore(cfg, &sink)
+	for i := 0; i < 10_000; i++ {
+		c.Exec(alu(int32(i%64), -1))
+		if i%7 == 0 { // irregular "block boundaries"
+			c.FlushEvents()
+		}
+	}
+	c.FlushEvents()
+	if got := sink.totals[isa.SigCycle]; got != c.Cycles() {
+		t.Errorf("batched cycle total %d != core cycles %d", got, c.Cycles())
+	}
+	if got := sink.totals[isa.SigInstret]; got != c.Instret() {
+		t.Errorf("batched instret total %d != core instret %d", got, c.Instret())
+	}
+	if c.Stats().TimerTicks == 0 {
+		t.Fatal("expected timer ticks")
+	}
+	wantS := c.Stats().TimerTicks * cfg.TimerHandlerCycles
+	if got := sink.totals[isa.SigSModeCycle]; got != wantS {
+		t.Errorf("batched s_mode total %d != timer handler cycles %d", got, wantS)
+	}
+	if got := sink.totals[isa.SigUModeCycle] + sink.totals[isa.SigSModeCycle]; got != c.Cycles() {
+		t.Errorf("mode cycles %d do not cover total cycles %d", got, c.Cycles())
+	}
+}
+
+// TestQuietPathMatchesObserved pins the invariant the quiet fast path
+// depends on: a core with no sink must charge exactly the same cycles,
+// instructions and statistics as a core observed by a full-mask sink,
+// for an identical uop stream mixing ALU, memory, divide and branch
+// work across both pipeline kinds.
+func TestQuietPathMatchesObserved(t *testing.T) {
+	stream := func(c *Core) {
+		seed := uint64(12345)
+		next := func() uint64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return seed >> 33
+		}
+		for i := 0; i < 50_000; i++ {
+			var u Uop
+			u.Src1, u.Src2, u.Src3, u.Dst = -1, -1, -1, -1
+			switch next() % 8 {
+			case 0, 1, 2:
+				u.Class = OpIntALU
+				u.Dst = int32(next() % 64)
+				u.Src1 = int32(next() % 64)
+				u.IntOps = 1
+			case 3:
+				u.Class = OpLoad
+				u.Dst = int32(next() % 64)
+				u.Addr = 0x2000 + (next() % (1 << 20))
+				u.Size = 8
+			case 4:
+				u.Class = OpStore
+				u.Src1 = int32(next() % 64)
+				u.Addr = 0x2000 + (next() % (1 << 20))
+				u.Size = 8
+			case 5:
+				u.Class = OpFMA
+				u.Dst = int32(next() % 64)
+				u.Src1 = int32(next() % 64)
+				u.Flops = 2
+			case 6:
+				u.Class = OpBranch
+				u.BrID = uint32(next()%16) + 1
+				u.Taken = next()%3 == 0
+			case 7:
+				u.Class = OpIntDiv
+				u.Dst = int32(next() % 64)
+				u.Src1 = int32(next() % 64)
+				u.IntOps = 1
+			}
+			c.Exec(&u)
+		}
+	}
+	for _, cfg := range []Config{inOrderConfig(), oooConfig()} {
+		cfg.TimerIntervalCycles = 10_000
+		cfg.TimerHandlerCycles = 100
+		quiet := NewCore(cfg, nil)
+		var sink recordingSink
+		observed := NewCore(cfg, &sink)
+		stream(quiet)
+		stream(observed)
+		if quiet.Cycles() != observed.Cycles() {
+			t.Errorf("%s: quiet cycles %d != observed %d", cfg.Name, quiet.Cycles(), observed.Cycles())
+		}
+		if quiet.Instret() != observed.Instret() {
+			t.Errorf("%s: quiet instret %d != observed %d", cfg.Name, quiet.Instret(), observed.Instret())
+		}
+		if quiet.Stats() != observed.Stats() {
+			t.Errorf("%s: stats diverge:\nquiet:    %+v\nobserved: %+v", cfg.Name, quiet.Stats(), observed.Stats())
+		}
+	}
+}
+
 func TestSinkCycleDeltasSumToCycles(t *testing.T) {
 	var sink recordingSink
 	c := NewCore(inOrderConfig(), &sink)

@@ -49,9 +49,10 @@ type Cache struct {
 	lineShift uint
 	setMask   uint64
 
-	// Flat arrays indexed by set*ways+way.
+	// Flat arrays indexed by set*ways+way. A tag word encodes
+	// (lineTag << 1) | validBit, so the probe loop is a single compare
+	// per way; 0 means the way is empty.
 	tags  []uint64
-	valid []bool
 	dirty []bool
 	used  []uint64 // LRU timestamps
 
@@ -81,7 +82,6 @@ func NewCache(cfg CacheConfig) *Cache {
 		lineShift: shift,
 		setMask:   uint64(sets - 1),
 		tags:      make([]uint64, n),
-		valid:     make([]bool, n),
 		dirty:     make([]bool, n),
 		used:      make([]uint64, n),
 	}
@@ -106,9 +106,11 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 	tag := addr >> c.lineShift
 	set := int(tag & c.setMask)
 	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+	want := tag<<1 | 1
+	tags := c.tags[base : base+c.cfg.Ways]
+	for w := range tags {
+		if tags[w] == want {
+			i := base + w
 			c.tick++
 			c.used[i] = c.tick
 			if write {
@@ -131,7 +133,7 @@ func (c *Cache) Fill(addr uint64, write bool) (evicted uint64, dirtyEvict bool, 
 	victim := base
 	for w := 0; w < c.cfg.Ways; w++ {
 		i := base + w
-		if !c.valid[i] {
+		if c.tags[i]&1 == 0 {
 			victim = i
 			hadVictim = false
 			goto install
@@ -141,15 +143,14 @@ func (c *Cache) Fill(addr uint64, write bool) (evicted uint64, dirtyEvict bool, 
 		}
 	}
 	hadVictim = true
-	evicted = c.tags[victim] << c.lineShift
+	evicted = c.tags[victim] >> 1 << c.lineShift
 	dirtyEvict = c.dirty[victim]
 	if hadVictim {
 		c.Evicts++
 	}
 install:
 	c.tick++
-	c.tags[victim] = tag
-	c.valid[victim] = true
+	c.tags[victim] = tag<<1 | 1
 	c.dirty[victim] = write
 	c.used[victim] = c.tick
 	return evicted, dirtyEvict, hadVictim
@@ -162,8 +163,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	set := int(tag & c.setMask)
 	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+		if c.tags[base+w] == tag<<1|1 {
 			return true
 		}
 	}
@@ -172,8 +172,8 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = 0
 		c.dirty[i] = false
 		c.used[i] = 0
 	}

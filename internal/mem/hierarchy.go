@@ -67,9 +67,14 @@ func (h *Hierarchy) Access(now uint64, addr uint64, size int, write bool) Access
 	if size <= 0 {
 		return AccessResult{}
 	}
-	var res AccessResult
 	first := h.l1d.LineAddr(addr)
 	last := h.l1d.LineAddr(addr + uint64(size) - 1)
+	if first == last {
+		// Fast path: the overwhelmingly common single-line access needs
+		// no straddle loop or per-line result merging.
+		return h.accessLine(now, first, write)
+	}
+	var res AccessResult
 	for line := first; ; line += h.lineSize {
 		r := h.accessLine(now, line, write)
 		if r.Latency > res.Latency {

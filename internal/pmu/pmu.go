@@ -124,6 +124,10 @@ type PMU struct {
 	// bySignal lists running counter indices per signal for fast Apply.
 	bySignal [isa.NumSignals][]int
 	dirty    bool // bySignal needs rebuild
+	// watchMask caches, per isa.Signal bit, whether any running
+	// uninhibited counter observes that signal; zero means the whole
+	// PMU is idle and the core skips event delivery entirely.
+	watchMask uint64
 }
 
 // New builds a PMU from the spec; it panics on malformed specs because
@@ -284,13 +288,25 @@ func (p *PMU) rebuild() {
 	for i := range p.bySignal {
 		p.bySignal[i] = p.bySignal[i][:0]
 	}
+	p.watchMask = 0
 	for i := range p.counters {
 		c := &p.counters[i]
 		if c.running && c.hasSignal && p.inhibit&(1<<uint(i)) == 0 {
 			p.bySignal[c.signal] = append(p.bySignal[c.signal], i)
+			p.watchMask |= 1 << uint(c.signal)
 		}
 	}
 	p.dirty = false
+}
+
+// WatchMask implements machine.EventSink: it reports which signals
+// currently have a running counter, letting the core skip batch
+// construction on quiet harts and unobserved signals elsewhere.
+func (p *PMU) WatchMask() uint64 {
+	if p.dirty {
+		p.rebuild()
+	}
+	return p.watchMask
 }
 
 // Apply implements machine.EventSink: it accumulates signal deltas

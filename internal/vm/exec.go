@@ -63,267 +63,32 @@ func bitsToFloat(ty ir.Type, bits uint64) float64 {
 	return math.Float64frombits(bits)
 }
 
-// lanewise applies a scalar function across vector operands (or once
-// for scalars), writing the result into the destination.
-func (m *Machine) lanewise2(fr *frame, st *step, f func(a, b uint64) uint64) {
-	if !st.in.Ty.IsVector() {
-		a := m.scalar(fr, &st.args[0])
-		b := m.scalar(fr, &st.args[1])
-		fr.regs[st.dst] = f(a, b)
-		return
-	}
-	m.checkVector(st.in.Ty)
-	va := m.vecOrSplat(fr, &st.args[0], st.in.Ty.Lanes)
-	vb := m.vecOrSplat(fr, &st.args[1], st.in.Ty.Lanes)
-	out := make([]uint64, st.in.Ty.Lanes)
-	for l := range out {
-		out[l] = f(va[l], vb[l])
-	}
-	fr.vregs[st.dst] = out
-}
-
-// vecOrSplat fetches a vector operand, broadcasting scalar immediates.
-func (m *Machine) vecOrSplat(fr *frame, op *operand, lanes int) []uint64 {
-	if op.reg >= 0 {
+// vecOrSplat fetches a vector operand; scalar registers and immediates
+// used in vector context are broadcast into the frame's per-slot
+// scratch buffer (reused across instructions, so steady-state vector
+// execution performs no allocation).
+func (m *Machine) vecOrSplat(fr *frame, op *operand, lanes, slot int) []uint64 {
+	if op.isVec {
 		if v := fr.vregs[op.reg]; v != nil {
 			return v
 		}
-		// Scalar register used in vector context: broadcast.
-		out := make([]uint64, lanes)
-		s := fr.regs[op.reg]
-		for l := range out {
-			out[l] = s
-		}
-		return out
+		trapf("vector register read before write")
 	}
-	out := make([]uint64, lanes)
+	out := fr.vscratch[slot]
+	if cap(out) >= lanes {
+		out = out[:lanes]
+	} else {
+		out = make([]uint64, lanes)
+	}
+	fr.vscratch[slot] = out
+	s := op.imm
+	if op.reg >= 0 {
+		s = fr.regs[op.reg]
+	}
 	for l := range out {
-		out[l] = op.imm
+		out[l] = s
 	}
 	return out
-}
-
-func (m *Machine) execIntBinary(fr *frame, st *step) {
-	k := st.in.Ty.Kind
-	op := st.in.Op
-	f := func(a, b uint64) uint64 {
-		switch op {
-		case ir.OpAdd:
-			return maskTo(k, a+b)
-		case ir.OpSub:
-			return maskTo(k, a-b)
-		case ir.OpMul:
-			return maskTo(k, a*b)
-		case ir.OpSDiv:
-			d := signExt(k, b)
-			if d == 0 {
-				trapf("integer division by zero")
-			}
-			return maskTo(k, uint64(signExt(k, a)/d))
-		case ir.OpSRem:
-			d := signExt(k, b)
-			if d == 0 {
-				trapf("integer remainder by zero")
-			}
-			return maskTo(k, uint64(signExt(k, a)%d))
-		case ir.OpAnd:
-			return a & b
-		case ir.OpOr:
-			return a | b
-		case ir.OpXor:
-			return maskTo(k, a^b)
-		case ir.OpShl:
-			return maskTo(k, a<<(b&63))
-		case ir.OpLShr:
-			return maskTo(k, a>>(b&63))
-		case ir.OpAShr:
-			return maskTo(k, uint64(signExt(k, a)>>(b&63)))
-		}
-		trapf("bad int op %s", op)
-		return 0
-	}
-	m.lanewise2(fr, st, f)
-	m.emit(fr, st, 0, false, 0)
-}
-
-func (m *Machine) execICmp(fr *frame, st *step) {
-	k := st.in.Args[0].Type().Kind
-	a := signExt(k, m.scalar(fr, &st.args[0]))
-	b := signExt(k, m.scalar(fr, &st.args[1]))
-	var r bool
-	switch st.in.Pred {
-	case ir.PredEQ:
-		r = a == b
-	case ir.PredNE:
-		r = a != b
-	case ir.PredLT:
-		r = a < b
-	case ir.PredLE:
-		r = a <= b
-	case ir.PredGT:
-		r = a > b
-	case ir.PredGE:
-		r = a >= b
-	}
-	if r {
-		fr.regs[st.dst] = 1
-	} else {
-		fr.regs[st.dst] = 0
-	}
-	m.emit(fr, st, 0, false, 0)
-}
-
-func (m *Machine) execFPBinary(fr *frame, st *step) {
-	elem := st.in.Ty.Elem()
-	op := st.in.Op
-	f := func(a, b uint64) uint64 {
-		x := bitsToFloat(elem, a)
-		y := bitsToFloat(elem, b)
-		var z float64
-		switch op {
-		case ir.OpFAdd:
-			z = x + y
-		case ir.OpFSub:
-			z = x - y
-		case ir.OpFMul:
-			z = x * y
-		case ir.OpFDiv:
-			z = x / y
-		}
-		return floatBits(elem, z)
-	}
-	m.lanewise2(fr, st, f)
-	m.emit(fr, st, 0, false, 0)
-}
-
-func (m *Machine) execFMA(fr *frame, st *step) {
-	elem := st.in.Ty.Elem()
-	if !st.in.Ty.IsVector() {
-		a := bitsToFloat(elem, m.scalar(fr, &st.args[0]))
-		b := bitsToFloat(elem, m.scalar(fr, &st.args[1]))
-		c := bitsToFloat(elem, m.scalar(fr, &st.args[2]))
-		fr.regs[st.dst] = floatBits(elem, a*b+c)
-	} else {
-		m.checkVector(st.in.Ty)
-		lanes := st.in.Ty.Lanes
-		va := m.vecOrSplat(fr, &st.args[0], lanes)
-		vb := m.vecOrSplat(fr, &st.args[1], lanes)
-		vc := m.vecOrSplat(fr, &st.args[2], lanes)
-		out := make([]uint64, lanes)
-		for l := 0; l < lanes; l++ {
-			a := bitsToFloat(elem, va[l])
-			b := bitsToFloat(elem, vb[l])
-			c := bitsToFloat(elem, vc[l])
-			out[l] = floatBits(elem, a*b+c)
-		}
-		fr.vregs[st.dst] = out
-	}
-	m.emit(fr, st, 0, false, 0)
-}
-
-func (m *Machine) execFCmp(fr *frame, st *step) {
-	elem := st.in.Args[0].Type().Elem()
-	a := bitsToFloat(elem, m.scalar(fr, &st.args[0]))
-	b := bitsToFloat(elem, m.scalar(fr, &st.args[1]))
-	var r bool
-	switch st.in.Pred {
-	case ir.PredEQ:
-		r = a == b
-	case ir.PredNE:
-		r = a != b
-	case ir.PredLT:
-		r = a < b
-	case ir.PredLE:
-		r = a <= b
-	case ir.PredGT:
-		r = a > b
-	case ir.PredGE:
-		r = a >= b
-	}
-	if r {
-		fr.regs[st.dst] = 1
-	} else {
-		fr.regs[st.dst] = 0
-	}
-	m.emit(fr, st, 0, false, 0)
-}
-
-func (m *Machine) execConvert(fr *frame, st *step) {
-	src := st.in.Args[0].Type()
-	dst := st.in.Ty
-	v := m.scalar(fr, &st.args[0])
-	var out uint64
-	switch st.in.Op {
-	case ir.OpZExt:
-		out = maskTo(src.Kind, v)
-	case ir.OpSExt:
-		out = maskTo(dst.Kind, uint64(signExt(src.Kind, v)))
-	case ir.OpTrunc:
-		out = maskTo(dst.Kind, v)
-	case ir.OpSIToFP:
-		out = floatBits(dst, float64(signExt(src.Kind, v)))
-	case ir.OpFPToSI:
-		out = maskTo(dst.Kind, uint64(int64(bitsToFloat(src, v))))
-	case ir.OpFPExt, ir.OpFPTrunc:
-		out = floatBits(dst, bitsToFloat(src, v))
-	}
-	fr.regs[st.dst] = out
-	m.emit(fr, st, 0, false, 0)
-}
-
-func (m *Machine) execReduce(fr *frame, st *step) {
-	vecTy := st.in.Args[0].Type()
-	elem := vecTy.Elem()
-	vec := m.vector(fr, &st.args[0])
-	if elem.IsFloat() {
-		sum := 0.0
-		for _, b := range vec {
-			sum += bitsToFloat(elem, b)
-		}
-		fr.regs[st.dst] = floatBits(elem, sum)
-	} else {
-		var sum uint64
-		for _, b := range vec {
-			sum += b
-		}
-		fr.regs[st.dst] = maskTo(elem.Kind, sum)
-	}
-	m.emit(fr, st, 0, false, 0)
-}
-
-func (m *Machine) execLoad(fr *frame, st *step) {
-	addr := uint64(int64(m.scalar(fr, &st.args[0])) + st.in.Scale)
-	ty := st.in.Ty
-	if !ty.IsVector() {
-		fr.regs[st.dst] = m.loadScalar(addr, ty)
-	} else {
-		m.checkVector(ty)
-		elem := ty.Elem()
-		es := uint64(elem.Size())
-		out := make([]uint64, ty.Lanes)
-		for l := range out {
-			out[l] = m.loadScalar(addr+uint64(l)*es, elem)
-		}
-		fr.vregs[st.dst] = out
-	}
-	m.emit(fr, st, addr, false, 0)
-}
-
-func (m *Machine) execStore(fr *frame, st *step) {
-	addr := uint64(int64(m.scalar(fr, &st.args[1])) + st.in.Scale)
-	ty := st.in.Args[0].Type()
-	if !ty.IsVector() {
-		m.storeScalar(addr, ty, m.scalar(fr, &st.args[0]))
-	} else {
-		m.checkVector(ty)
-		elem := ty.Elem()
-		es := uint64(elem.Size())
-		vec := m.vecOrSplat(fr, &st.args[0], ty.Lanes)
-		for l, b := range vec {
-			m.storeScalar(addr+uint64(l)*es, elem, b)
-		}
-	}
-	m.emit(fr, st, addr, false, 0)
 }
 
 func (m *Machine) loadScalar(addr uint64, ty ir.Type) uint64 {

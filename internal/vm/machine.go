@@ -42,7 +42,10 @@ func trapf(format string, args ...interface{}) {
 	panic(trap{fmt.Sprintf(format, args...)})
 }
 
-// frame is one activation record.
+// frame is one activation record. Frames are pooled per funcPlan, so
+// the register files and vector buffers are reused across activations;
+// SSA dominance (enforced by ir.Verify) guarantees stale contents are
+// never observed.
 type frame struct {
 	fp        *funcPlan
 	regs      []uint64
@@ -50,6 +53,29 @@ type frame struct {
 	salt      uint32
 	stackSave uint64
 	curPC     uint64
+
+	// retVal/retVec carry the return value out of the dispatch loop.
+	retVal uint64
+	retVec []uint64
+
+	// vscratch holds per-operand-slot broadcast buffers for scalars
+	// used in vector context (reused, never escapes the instruction).
+	vscratch [3][]uint64
+}
+
+// vregDst returns the destination buffer for a vector register,
+// reusing the previous allocation when it is large enough. Vector
+// registers never alias (results are always copied, not shared), so
+// in-place reuse is safe.
+func (fr *frame) vregDst(reg int32, lanes int) []uint64 {
+	v := fr.vregs[reg]
+	if cap(v) >= lanes {
+		v = v[:lanes]
+	} else {
+		v = make([]uint64, lanes)
+	}
+	fr.vregs[reg] = v
+	return v
 }
 
 // symbol maps a synthetic address range to a function name.
@@ -60,8 +86,12 @@ type symbol struct {
 
 // Memory layout constants.
 const (
-	memBase        = 0x1000 // null guard below
-	stackSize      = 16 << 20
+	memBase = 0x1000 // null guard below
+	// stackSize bounds the alloca stack. The catalog workloads place
+	// their arrays in globals and use at most a few KiB of allocas per
+	// frame, so 4 MiB is generous; keeping it small matters because
+	// every Machine zeroes this much backing store at construction.
+	stackSize      = 4 << 20
 	maxCallDepth   = 512
 	defaultMaxStep = 1 << 62
 )
@@ -86,12 +116,21 @@ type Machine struct {
 	frames   []*frame
 	frameSeq uint32
 
-	// MaxSteps bounds interpreted instructions (runaway guard).
+	// MaxSteps bounds interpreted instructions (runaway guard; checked
+	// at block granularity, so it may overshoot by one block).
 	MaxSteps uint64
 	steps    uint64
 
 	vlenBytes int
 	uop       machine.Uop
+
+	// callScratch carries call arguments into m.call without a per-call
+	// allocation (callees copy it before executing, so reuse across
+	// nested calls is safe).
+	callScratch []uint64
+	// phiScratch snapshots phi parallel-copy sources (scalars and
+	// flattened vector lanes) before any destination is written.
+	phiScratch []uint64
 }
 
 // New loads a verified module onto a fresh hart of the platform.
@@ -289,9 +328,18 @@ func (m *Machine) Run(name string, args ...uint64) (result uint64, err error) {
 	if len(f.Params) != len(args) {
 		return 0, fmt.Errorf("vm: @%s takes %d args, got %d", name, len(f.Params), len(args))
 	}
+	// Traps unwind the Go stack past every active m.call; the frame
+	// stack and alloca stack are restored wholesale here instead of via
+	// per-call defers, keeping the call hot path defer-free. (Frames
+	// in flight at trap time are not returned to their pools — a pool
+	// miss later just reallocates.)
+	savedFrames := len(m.frames)
+	savedStack := m.stackTop
 	defer func() {
 		if r := recover(); r != nil {
 			if t, ok := r.(trap); ok {
+				m.frames = m.frames[:savedFrames]
+				m.stackTop = savedStack
 				err = t
 				return
 			}
@@ -302,7 +350,11 @@ func (m *Machine) Run(name string, args ...uint64) (result uint64, err error) {
 	return res, nil
 }
 
-// call executes one function activation.
+// call executes one function activation through the threaded-dispatch
+// loop: every step's executor was pre-bound at plan time, so the loop
+// body is one indirect call per instruction. The architectural PC and
+// the step budget are maintained at block granularity (every step of a
+// block shares the block's synthetic PC).
 func (m *Machine) call(fp *funcPlan, args []uint64) (uint64, []uint64) {
 	if fp.intrinsic != "" {
 		return m.intrinsicCall(fp.intrinsic, args), nil
@@ -311,188 +363,92 @@ func (m *Machine) call(fp *funcPlan, args []uint64) (uint64, []uint64) {
 		trapf("call depth exceeded in @%s", fp.fn.FName)
 	}
 	m.frameSeq++
-	fr := &frame{
-		fp:        fp,
-		regs:      make([]uint64, fp.numRegs),
-		vregs:     make([][]uint64, fp.numRegs),
-		salt:      m.frameSeq * 251,
-		stackSave: m.stackTop,
-		curPC:     fp.base,
+	var fr *frame
+	if n := len(fp.free); n > 0 {
+		fr = fp.free[n-1]
+		fp.free = fp.free[:n-1]
+	} else {
+		fr = &frame{
+			fp:    fp,
+			regs:  make([]uint64, fp.numRegs),
+			vregs: make([][]uint64, fp.numRegs),
+		}
 	}
+	fr.salt = m.frameSeq * 251
+	fr.stackSave = m.stackTop
+	fr.curPC = fp.base
+	fr.retVal, fr.retVec = 0, nil
 	copy(fr.regs, args)
 	m.frames = append(m.frames, fr)
-	defer func() {
-		m.frames = m.frames[:len(m.frames)-1]
-		m.stackTop = fr.stackSave
-	}()
 
 	core := m.hart.Core
 	bp := fp.entry
-	prev := -1 // previous block index for phi moves
-	_ = prev
-
 	for {
+		m.steps += uint64(len(bp.steps))
+		if m.steps > m.MaxSteps {
+			trapf("step budget exceeded (%d)", m.MaxSteps)
+		}
+		// Flush batched deltas BEFORE moving the PC: samples fired by
+		// the flush must attribute the previous block's cycles to the
+		// block (and frame) that accumulated them.
+		core.BlockBoundary()
+		core.SetPC(bp.pc)
+		fr.curPC = bp.pc
+
 		steps := bp.steps
+		var next *blockPlan
 		for i := range steps {
 			st := &steps[i]
-			m.steps++
-			if m.steps > m.MaxSteps {
-				trapf("step budget exceeded (%d)", m.MaxSteps)
-			}
-			core.SetPC(bp.pc)
-			fr.curPC = bp.pc
-
-			switch st.in.Op {
-			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpSDiv, ir.OpSRem,
-				ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr:
-				m.execIntBinary(fr, st)
-			case ir.OpICmp:
-				m.execICmp(fr, st)
-			case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
-				m.execFPBinary(fr, st)
-			case ir.OpFMA:
-				m.execFMA(fr, st)
-			case ir.OpFCmp:
-				m.execFCmp(fr, st)
-			case ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpSIToFP, ir.OpFPToSI,
-				ir.OpFPExt, ir.OpFPTrunc:
-				m.execConvert(fr, st)
-			case ir.OpSplat:
-				m.checkVector(st.in.Ty)
-				lanes := st.in.Ty.Lanes
-				v := make([]uint64, lanes)
-				s := m.scalar(fr, &st.args[0])
-				for l := range v {
-					v[l] = s
-				}
-				fr.vregs[st.dst] = v
-				m.emit(fr, st, 0, false, 0)
-			case ir.OpExtract:
-				vec := m.vector(fr, &st.args[0])
-				fr.regs[st.dst] = vec[st.in.Lane]
-				m.emit(fr, st, 0, false, 0)
-			case ir.OpReduce:
-				m.execReduce(fr, st)
-			case ir.OpAlloca:
-				size := uint64(st.in.Scale) * m.scalar(fr, &st.args[0])
-				m.stackTop = align(m.stackTop, 16)
-				addr := m.stackTop
-				m.stackTop += size
-				if m.stackTop > uint64(len(m.mem)) {
-					trapf("stack overflow in @%s", fp.fn.FName)
-				}
-				fr.regs[st.dst] = addr
-				m.emit(fr, st, 0, false, 0)
-			case ir.OpLoad:
-				m.execLoad(fr, st)
-			case ir.OpStore:
-				m.execStore(fr, st)
-			case ir.OpGEP:
-				base := m.scalar(fr, &st.args[0])
-				idx := int64(m.scalar(fr, &st.args[1]))
-				fr.regs[st.dst] = uint64(int64(base) + idx*st.in.Scale)
-				m.emit(fr, st, 0, false, 0)
-			case ir.OpSelect:
-				cond := m.scalar(fr, &st.args[0])
-				pick := 2
-				if cond != 0 {
-					pick = 1
-				}
-				if st.in.Ty.IsVector() {
-					fr.vregs[st.dst] = m.vector(fr, &st.args[pick])
-				} else {
-					fr.regs[st.dst] = m.scalar(fr, &st.args[pick])
-				}
-				m.emit(fr, st, 0, false, 0)
-			case ir.OpCall:
-				m.emit(fr, st, 0, false, 0)
-				cargs := make([]uint64, len(st.args))
-				for j := range st.args {
-					cargs[j] = m.scalar(fr, &st.args[j])
-				}
-				res, vres := m.call(st.callee, cargs)
-				if st.dst >= 0 {
-					if st.in.Ty.IsVector() {
-						fr.vregs[st.dst] = vres
-					} else {
-						fr.regs[st.dst] = res
-					}
-				}
-			case ir.OpRet:
-				m.emit(fr, st, 0, false, 0)
-				if len(st.args) == 0 {
-					return 0, nil
-				}
-				if st.in.Args[0].Type().IsVector() {
-					return 0, m.vector(fr, &st.args[0])
-				}
-				return m.scalar(fr, &st.args[0]), nil
-			case ir.OpBr:
-				m.emit(fr, st, 0, false, 0)
-				next := st.targets[0]
-				m.phiMoves(fr, next, bp.index)
-				bp = next
-				goto nextBlock
-			case ir.OpCondBr:
-				cond := m.scalar(fr, &st.args[0]) != 0
-				m.emit(fr, st, 0, cond, 0)
-				var next *blockPlan
-				if cond {
-					next = st.targets[0]
-				} else {
-					next = st.targets[1]
-				}
-				m.phiMoves(fr, next, bp.index)
-				bp = next
-				goto nextBlock
-			case ir.OpSwitch:
-				v := int64(m.scalar(fr, &st.args[0]))
-				next := st.targets[0]
-				for ci, cv := range st.in.Cases {
-					if cv == v {
-						next = st.targets[ci+1]
-						break
-					}
-				}
-				m.emit(fr, st, 0, false, next.pc)
-				m.phiMoves(fr, next, bp.index)
-				bp = next
-				goto nextBlock
-			default:
-				trapf("unexecutable opcode %s", st.in.Op)
+			if next = st.exec(m, fr, st); next != nil {
+				break
 			}
 		}
-		trapf("block %s fell through without terminator", bp.block.BName)
-	nextBlock:
+		switch next {
+		case nil:
+			trapf("block %s fell through without terminator", bp.block.BName)
+		case retMarker:
+			// Deliver batched deltas before control leaves the frame, so
+			// callers (and post-run counter reads) see settled values.
+			core.FlushEvents()
+			// Unwind without defer (traps restore state in Run instead).
+			m.frames = m.frames[:len(m.frames)-1]
+			m.stackTop = fr.stackSave
+			fp.free = append(fp.free, fr)
+			return fr.retVal, fr.retVec
+		default:
+			bp = next
+		}
 	}
 }
 
 // phiMoves performs the parallel copies for the edge prev -> next.
-func (m *Machine) phiMoves(fr *frame, next *blockPlan, prevIdx int) {
+// Source values (scalars and flattened vector lanes) are snapshotted
+// into the machine's scratch buffer before any destination is written,
+// preserving parallel-copy semantics without per-edge allocation.
+func (m *Machine) phiMoves(fr *frame, next *blockPlan, prevIdx int32) {
 	moves := next.movesFrom[prevIdx]
 	if len(moves) == 0 {
 		return
 	}
-	// Parallel semantics: snapshot sources first.
-	type snap struct {
-		dst int32
-		val uint64
-		vec []uint64
-		isV bool
-	}
-	tmp := make([]snap, len(moves))
-	for i, mv := range moves {
-		if mv.src.reg >= 0 && fr.vregs[mv.src.reg] != nil {
-			tmp[i] = snap{dst: mv.dst, vec: fr.vregs[mv.src.reg], isV: true}
+	vals := m.phiScratch[:0]
+	for i := range moves {
+		mv := &moves[i]
+		if mv.isVec {
+			vals = append(vals, m.vector(fr, &mv.src)...)
 		} else {
-			tmp[i] = snap{dst: mv.dst, val: m.scalar(fr, &moves[i].src)}
+			vals = append(vals, m.scalar(fr, &mv.src))
 		}
 	}
-	for _, s := range tmp {
-		if s.isV {
-			fr.vregs[s.dst] = append([]uint64(nil), s.vec...)
+	m.phiScratch = vals // retain grown capacity
+	off := 0
+	for i := range moves {
+		mv := &moves[i]
+		if mv.isVec {
+			copy(fr.vregDst(mv.dst, mv.lanes), vals[off:off+mv.lanes])
+			off += mv.lanes
 		} else {
-			fr.regs[s.dst] = s.val
+			fr.regs[mv.dst] = vals[off]
+			off++
 		}
 	}
 }
@@ -507,17 +463,17 @@ func (m *Machine) scalar(fr *frame, op *operand) uint64 {
 
 // vector fetches a vector operand.
 func (m *Machine) vector(fr *frame, op *operand) []uint64 {
-	if op.reg < 0 {
-		if op.vecImm != nil {
-			return op.vecImm
+	if op.isVec {
+		if v := fr.vregs[op.reg]; v != nil {
+			return v
 		}
-		trapf("scalar immediate used as vector operand")
-	}
-	v := fr.vregs[op.reg]
-	if v == nil {
 		trapf("vector register read before write")
 	}
-	return v
+	if op.vecImm != nil {
+		return op.vecImm
+	}
+	trapf("scalar operand used as vector operand")
+	return nil
 }
 
 // checkVector traps when the platform cannot execute the vector type,
@@ -541,28 +497,18 @@ func (fr *frame) slot(reg int32) int32 {
 	return int32((uint32(reg) + fr.salt) & 0x3FF)
 }
 
-// emit charges one micro-op through the core model.
+// emit charges one micro-op through the core model: the plan-time
+// prototype is copied, then only the frame-dependent slots and runtime
+// operands are patched.
 func (m *Machine) emit(fr *frame, st *step, addr uint64, taken bool, target uint64) {
 	u := &m.uop
-	u.Class = st.class
+	*u = st.proto
 	u.Dst = fr.slot(st.dst)
-	u.Src1, u.Src2, u.Src3 = -1, -1, -1
-	if len(st.args) > 0 {
-		u.Src1 = fr.slot(st.args[0].reg)
-	}
-	if len(st.args) > 1 {
-		u.Src2 = fr.slot(st.args[1].reg)
-	}
-	if len(st.args) > 2 {
-		u.Src3 = fr.slot(st.args[2].reg)
-	}
+	u.Src1 = fr.slot(st.srcRegs[0])
+	u.Src2 = fr.slot(st.srcRegs[1])
+	u.Src3 = fr.slot(st.srcRegs[2])
 	u.Addr = addr
-	u.Size = st.size
-	u.BrID = st.brID
 	u.Taken = taken
 	u.Target = target
-	u.Flops = uint32(st.flops)
-	u.IntOps = uint32(st.intops)
-	u.Lanes = st.lanes
 	m.hart.Core.Exec(u)
 }

@@ -19,9 +19,21 @@ import (
 type operand struct {
 	reg int32  // >= 0: register id; -1: immediate
 	imm uint64 // immediate bits when reg < 0
+	// isVec records (at plan time) whether the operand is a
+	// vector-typed value, so the hot loop never has to probe vregs to
+	// classify it.
+	isVec bool
 	// vecImm is non-nil for (rare) vector immediates.
 	vecImm []uint64
 }
+
+// execFn is one step's pre-bound executor. It returns nil to fall
+// through to the next step, the successor blockPlan on a taken control
+// transfer, or retMarker after storing the return value in the frame.
+type execFn func(m *Machine, fr *frame, st *step) *blockPlan
+
+// retMarker is the sentinel successor signalling a function return.
+var retMarker = &blockPlan{}
 
 // step is one pre-decoded instruction.
 type step struct {
@@ -29,13 +41,27 @@ type step struct {
 	dst  int32 // destination register, -1 for none
 	args []operand
 
-	// Pre-computed micro-op template fields.
-	class  machine.OpClass
-	flops  uint32
-	intops uint32
-	lanes  uint8
-	size   int32  // memory access size
-	brID   uint32 // static branch site id
+	// exec is the threaded-dispatch executor: op, operand kinds and
+	// width masks are resolved once at plan time, so the interpreter
+	// loop is a single indirect call per instruction with no opcode
+	// switch on the hot path.
+	exec execFn
+
+	// proto is the pre-computed micro-op template: class, access size,
+	// branch id and retired-work counts are plan-time constants, so
+	// emit copies the prototype and patches only the frame-dependent
+	// slots and runtime operands.
+	proto machine.Uop
+	// srcRegs holds the first three operand registers (-1 when absent),
+	// so emit charges sources without probing the args slice.
+	srcRegs [3]int32
+
+	// blockIdx/blockPC identify the owning block: blockIdx is the
+	// phi-predecessor index a terminator hands to phiMoves (plan-time
+	// constant, so a stale edge is impossible), blockPC restores the
+	// architectural PC after a call returns mid-block.
+	blockIdx int32
+	blockPC  uint64
 
 	// Pre-resolved call plan (nil for intrinsics).
 	callee *funcPlan
@@ -45,8 +71,10 @@ type step struct {
 
 // phiMove is one parallel-copy assignment performed on a CFG edge.
 type phiMove struct {
-	dst int32
-	src operand
+	dst   int32
+	src   operand
+	isVec bool
+	lanes int
 }
 
 // blockPlan is a pre-decoded basic block.
@@ -54,8 +82,9 @@ type blockPlan struct {
 	block *ir.Block
 	index int
 	steps []step
-	// movesFrom maps predecessor block index -> phi parallel copies.
-	movesFrom map[int][]phiMove
+	// movesFrom holds, per predecessor block index, the phi parallel
+	// copies for that edge.
+	movesFrom [][]phiMove
 	// pc is the synthetic address of this block for sampling.
 	pc uint64
 }
@@ -70,6 +99,9 @@ type funcPlan struct {
 	size    uint64
 	// intrinsic is non-empty for runtime-dispatched declarations.
 	intrinsic string
+	// free pools returned frames so repeated calls reuse register
+	// files and vector buffers instead of reallocating them.
+	free []*frame
 }
 
 // planner compiles a module into executable plans.
@@ -156,7 +188,7 @@ func (p *planner) planFunc(f *ir.Func) error {
 			if !ok {
 				return operand{}, fmt.Errorf("operand %s has no register", v)
 			}
-			return operand{reg: r}, nil
+			return operand{reg: r, isVec: v.Type().IsVector()}, nil
 		case *ir.Func:
 			return operand{}, fmt.Errorf("function-valued operands are not executable")
 		}
@@ -165,7 +197,7 @@ func (p *planner) planFunc(f *ir.Func) error {
 
 	for bi, b := range f.Blocks {
 		bp := fp.blocks[bi]
-		bp.movesFrom = make(map[int][]phiMove)
+		bp.movesFrom = make([][]phiMove, len(f.Blocks))
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpPhi {
 				// Phis execute as parallel copies on the incoming edge.
@@ -175,11 +207,14 @@ func (p *planner) planFunc(f *ir.Func) error {
 						return err
 					}
 					pi := blockIdx[pred]
-					bp.movesFrom[pi] = append(bp.movesFrom[pi], phiMove{dst: regs[in], src: src})
+					bp.movesFrom[pi] = append(bp.movesFrom[pi], phiMove{
+						dst: regs[in], src: src,
+						isVec: in.Ty.IsVector(), lanes: in.Ty.Lanes,
+					})
 				}
 				continue
 			}
-			st := step{in: in, dst: -1}
+			st := step{in: in, dst: -1, blockIdx: int32(bi), blockPC: bp.pc}
 			if in.Ty != ir.Void {
 				st.dst = regs[in]
 			}
@@ -201,6 +236,7 @@ func (p *planner) planFunc(f *ir.Func) error {
 				st.callee = cp
 			}
 			p.fillUopTemplate(&st)
+			st.exec = buildExec(in)
 			bp.steps = append(bp.steps, st)
 		}
 	}
@@ -211,88 +247,101 @@ func (p *planner) planFunc(f *ir.Func) error {
 // step: op class, retired-work counts, lanes, access size, branch id.
 func (p *planner) fillUopTemplate(st *step) {
 	in := st.in
+	st.srcRegs = [3]int32{-1, -1, -1}
+	for i := 0; i < len(st.args) && i < 3; i++ {
+		st.srcRegs[i] = st.args[i].reg
+	}
 	lanes := 1
 	if in.Ty.IsVector() {
 		lanes = in.Ty.Lanes
 	}
-	st.lanes = uint8(lanes)
+	ulanes := uint8(lanes)
+	var class machine.OpClass
+	var flops, intops, brID uint32
+	var size int32
 	switch in.Op {
 	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor,
 		ir.OpShl, ir.OpLShr, ir.OpAShr, ir.OpICmp, ir.OpSelect,
 		ir.OpGEP, ir.OpAlloca,
 		ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpSIToFP, ir.OpFPToSI,
 		ir.OpFPExt, ir.OpFPTrunc:
-		st.class = machine.OpIntALU
+		class = machine.OpIntALU
 		if in.Ty.IsInteger() || in.Op == ir.OpGEP {
-			st.intops = uint32(lanes)
+			intops = uint32(lanes)
 		}
 	case ir.OpMul:
-		st.class = machine.OpIntMul
-		st.intops = uint32(lanes)
+		class = machine.OpIntMul
+		intops = uint32(lanes)
 	case ir.OpSDiv, ir.OpSRem:
-		st.class = machine.OpIntDiv
-		st.intops = uint32(lanes)
+		class = machine.OpIntDiv
+		intops = uint32(lanes)
 	case ir.OpFAdd, ir.OpFSub, ir.OpFCmp:
-		st.class = machine.OpFPAdd
-		st.flops = uint32(lanes)
+		class = machine.OpFPAdd
+		flops = uint32(lanes)
 	case ir.OpFMul:
-		st.class = machine.OpFPMul
-		st.flops = uint32(lanes)
+		class = machine.OpFPMul
+		flops = uint32(lanes)
 	case ir.OpFDiv:
-		st.class = machine.OpFPDiv
-		st.flops = uint32(lanes)
+		class = machine.OpFPDiv
+		flops = uint32(lanes)
 	case ir.OpFMA:
-		st.class = machine.OpFMA
-		st.flops = uint32(2 * lanes)
+		class = machine.OpFMA
+		flops = uint32(2 * lanes)
 	case ir.OpSplat:
-		st.class = machine.OpVecALU
+		class = machine.OpVecALU
 	case ir.OpExtract:
-		st.class = machine.OpVecALU
+		class = machine.OpVecALU
 	case ir.OpReduce:
-		st.class = machine.OpVecALU
+		class = machine.OpVecALU
 		if v := in.Args[0].Type(); v.Elem().IsFloat() {
-			st.flops = uint32(v.Lanes - 1)
+			flops = uint32(v.Lanes - 1)
 		}
 	case ir.OpLoad:
-		st.class = machine.OpLoad
-		st.size = int32(in.Ty.Size())
+		class = machine.OpLoad
+		size = int32(in.Ty.Size())
 		if in.Ty.IsVector() {
-			st.class = machine.OpVecLoad
+			class = machine.OpVecLoad
 		}
 	case ir.OpStore:
-		st.class = machine.OpStore
-		st.size = int32(in.Args[0].Type().Size())
+		class = machine.OpStore
+		size = int32(in.Args[0].Type().Size())
 		if in.Args[0].Type().IsVector() {
-			st.class = machine.OpVecStore
-			st.lanes = uint8(in.Args[0].Type().Lanes)
+			class = machine.OpVecStore
+			ulanes = uint8(in.Args[0].Type().Lanes)
 		}
 	case ir.OpBr:
-		st.class = machine.OpJump
+		class = machine.OpJump
 	case ir.OpCondBr:
-		st.class = machine.OpBranch
+		class = machine.OpBranch
 		p.nextBrID++
-		st.brID = p.nextBrID
+		brID = p.nextBrID
 	case ir.OpSwitch:
-		st.class = machine.OpIndirect
+		class = machine.OpIndirect
 		p.nextBrID++
-		st.brID = p.nextBrID
+		brID = p.nextBrID
 	case ir.OpCall:
-		st.class = machine.OpCall
+		class = machine.OpCall
 	case ir.OpRet:
-		st.class = machine.OpRet
+		class = machine.OpRet
 	default:
-		st.class = machine.OpNop
+		class = machine.OpNop
 	}
 	// Vector arithmetic classes.
 	if in.Ty.IsVector() {
-		switch st.class {
+		switch class {
 		case machine.OpFPAdd, machine.OpFPMul, machine.OpFPDiv:
-			st.class = machine.OpVecALU
+			class = machine.OpVecALU
 		case machine.OpFMA:
-			st.class = machine.OpVecFMA
+			class = machine.OpVecFMA
 		case machine.OpIntALU, machine.OpIntMul:
-			st.class = machine.OpVecALU
+			class = machine.OpVecALU
 		}
+	}
+	st.proto = machine.Uop{
+		Class: class,
+		Dst:   -1, Src1: -1, Src2: -1, Src3: -1,
+		Size: size, BrID: brID,
+		Flops: flops, IntOps: intops, Lanes: ulanes,
 	}
 }
 

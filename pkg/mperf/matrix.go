@@ -48,6 +48,54 @@ func (r *MatrixResult) Cell(platformName, workloadName string) (*MatrixCell, boo
 	return nil, false
 }
 
+// Parallel runs tasks concurrently over a bounded worker pool of the
+// given size (<= 0 means GOMAXPROCS) and waits for all of them.
+// Sessions, machines and collectors are cheap to create and fully
+// independent, so this is the fan-out primitive behind matrix sweeps
+// and the experiment reproductions: every task simulates on its own
+// hart while the pool keeps the host cores busy. The first non-nil
+// task error is returned after all tasks finish.
+func Parallel(parallelism int, tasks ...func() error) error {
+	par := parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(tasks) {
+		par = len(tasks)
+	}
+	if par <= 1 {
+		// Degenerate pool: run inline, keeping single-core determinism.
+		var first error
+		for _, t := range tasks {
+			if err := t(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	sem := make(chan struct{}, par)
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t func() error) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			errs[i] = t()
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RunMatrix sweeps platforms × workloads × collectors with a bounded
 // worker pool. Names are validated against the registries up front, so
 // a typo fails fast; per-cell failures (a platform that cannot sample,
@@ -89,43 +137,33 @@ func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
 		}
 	}
 
-	par := spec.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(res.Cells) {
-		par = len(res.Cells)
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
+	tasks := make([]func() error, len(res.Cells))
 	for i := range res.Cells {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(cell *MatrixCell) {
-			defer func() {
-				<-sem
-				wg.Done()
-			}()
+		cell := &res.Cells[i]
+		tasks[i] = func() error {
 			// Each cell gets its own session and collector instances:
 			// nothing is shared across goroutines but the immutable spec.
 			cs, err := Collectors(cols...)
 			if err != nil {
 				cell.Error = err.Error()
-				return
+				return nil
 			}
 			sess, err := Open(cell.Platform, cell.Workload, spec.Options...)
 			if err != nil {
 				cell.Error = err.Error()
-				return
+				return nil
 			}
 			prof, err := sess.Run(cs...)
 			if err != nil {
 				cell.Error = err.Error()
-				return
+				return nil
 			}
 			cell.Profile = prof
-		}(&res.Cells[i])
+			return nil
+		}
 	}
-	wg.Wait()
+	// Per-cell failures are recorded in the cells, so Parallel cannot
+	// surface an error here.
+	_ = Parallel(spec.Parallelism, tasks...)
 	return res, nil
 }

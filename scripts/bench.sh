@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerate BENCH_PR2.json: run the four headline benchmarks (one per
+# reproduced table/figure plus the memset roof input) and record ns/op,
+# the reproduced paper metrics, and the speedup/metric drift against
+# the recorded pre-PR2 baseline (scripts/baseline_pr2.json).
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2x)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2x}"
+HEADLINE='BenchmarkTable2_SqliteHotspots|BenchmarkFigure3_FlameGraphs|BenchmarkFigure4_Roofline|BenchmarkMemsetBandwidth'
+
+go test -run '^$' -bench "$HEADLINE" -benchtime "$BENCHTIME" . |
+	tee /dev/stderr |
+	go run ./cmd/benchjson -baseline scripts/baseline_pr2.json > BENCH_PR2.json
+
+echo "wrote BENCH_PR2.json" >&2
