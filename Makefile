@@ -13,8 +13,9 @@ test:
 vet:
 	$(GO) vet ./...
 
-# bench regenerates BENCH_PR2.json (headline benches, ns/op + the
-# reproduced paper metrics, compared against the recorded baseline).
+# bench regenerates BENCH_PR3.json (headline benches + program-cache
+# trajectory benches, ns/op + the reproduced paper metrics, compared
+# against the recorded baseline).
 bench:
 	sh scripts/bench.sh
 

@@ -7,6 +7,7 @@ package mperf_test
 
 import (
 	"testing"
+	"time"
 
 	"mperf/internal/experiments"
 	"mperf/internal/ir"
@@ -18,6 +19,7 @@ import (
 	"mperf/internal/roofline"
 	"mperf/internal/vm"
 	"mperf/internal/workloads"
+	"mperf/pkg/mperf"
 )
 
 func benchSqliteConfig() workloads.SqliteConfig {
@@ -340,6 +342,95 @@ func BenchmarkAblationSampleFreq(b *testing.B) {
 	}
 	b.ReportMetric(lo, "vdbe-share-5kHz-%")
 	b.ReportMetric(hi, "vdbe-share-40kHz-%")
+}
+
+// --- Program-cache trajectory benches (PR 3) ---
+
+// BenchmarkCompileProgram is the cold path the program cache
+// eliminates: build the sqlite module and compile it into a Program
+// from scratch every iteration (what every machine construction paid
+// before the compile-once split).
+func BenchmarkCompileProgram(b *testing.B) {
+	cfg := benchSqliteConfig()
+	for i := 0; i < b.N; i++ {
+		spec, err := workloads.Lookup("sqlite", workloads.Params{Sqlite: &cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := spec.BuildProgram(platform.X60(), false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstantiate is the warm path: machines instantiated off one
+// shared compiled Program (memory copy plus hart construction, no
+// recompilation). warm-speedup-x reports a one-shot cold compile
+// against the steady-state per-instantiation cost.
+func BenchmarkInstantiate(b *testing.B) {
+	cfg := benchSqliteConfig()
+	spec, err := workloads.Lookup("sqlite", workloads.Params{Sqlite: &cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldStart := time.Now()
+	prog, err := spec.BuildProgram(platform.X60(), false, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(coldStart)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := vm.NewMachine(prog, platform.X60())
+		m.Release()
+	}
+	if warm := b.Elapsed() / time.Duration(b.N); warm > 0 {
+		b.ReportMetric(float64(cold)/float64(warm), "warm-speedup-x")
+	}
+}
+
+// BenchmarkMatrixWarm sweeps streaming kernels over every platform
+// with a pre-warmed program cache: the steady-state serving shape,
+// where every cell is instantiation and simulation only. The bench
+// fails if any warm cell recompiles; cache-hit-rate is asserted > 0 by
+// the CI smoke step.
+func BenchmarkMatrixWarm(b *testing.B) {
+	cache := mperf.NewProgramCache()
+	spec := mperf.MatrixSpec{
+		Workloads:  []string{"dot", "triad", "stencil"},
+		Collectors: []string{"stat"},
+		Options: []mperf.Option{
+			mperf.WithProgramCache(cache),
+			mperf.WithElems(1 << 12),
+			mperf.WithStatEvents("cycles", "instructions", "branches", "branch-misses"),
+		},
+	}
+	if _, err := mperf.RunMatrix(spec); err != nil {
+		b.Fatal(err) // cold sweep fills the cache
+	}
+	b.ResetTimer()
+	var warm mperf.CompileStats
+	for i := 0; i < b.N; i++ {
+		res, err := mperf.RunMatrix(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm = mperf.CompileStats{}
+		for _, cell := range res.Cells {
+			if cell.Error != "" {
+				b.Fatal(cell.Error)
+			}
+			if cs := cell.Profile.CompileStats; cs != nil {
+				warm.Compiled += cs.Compiled
+				warm.CacheHits += cs.CacheHits
+			}
+		}
+		if warm.Compiled != 0 {
+			b.Fatalf("warm sweep recompiled %d programs", warm.Compiled)
+		}
+	}
+	b.ReportMetric(warm.HitRate(), "cache-hit-rate")
+	b.ReportMetric(float64(warm.CacheHits), "cache-hits")
 }
 
 // BenchmarkSqliteInterpreter is a plain end-to-end throughput bench of

@@ -311,6 +311,7 @@ func main() {
 			return
 		}
 		t := report.NewTable("Matrix sweep", "Platform", "Workload", "IPC", "Samples", "Status")
+		var compiles mperf.CompileStats
 		for _, cell := range res.Cells {
 			ipc, samples, status := "-", "-", "ok"
 			switch {
@@ -322,10 +323,15 @@ func main() {
 				if err := cell.Profile.Err(); err != nil {
 					status = err.Error()
 				}
+				if cs := cell.Profile.CompileStats; cs != nil {
+					compiles.Compiled += cs.Compiled
+					compiles.CacheHits += cs.CacheHits
+				}
 			}
 			t.AddRowCells(cell.Platform, cell.Workload, ipc, samples, status)
 		}
 		fmt.Println(t.String())
+		fmt.Printf("programs: %s (hit rate %.0f%%)\n", compiles, 100*compiles.HitRate())
 
 	default:
 		stopProfiles()

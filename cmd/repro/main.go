@@ -17,6 +17,7 @@ import (
 
 	"mperf/internal/experiments"
 	"mperf/internal/workloads"
+	"mperf/pkg/mperf"
 )
 
 func main() {
@@ -31,6 +32,13 @@ func main() {
 	cfg := workloads.DefaultSqliteConfig()
 	cfg.Queries = *queries
 	cfg.Rows = *rows
+
+	// The experiments all compile through the shared program cache; the
+	// counters printed on exit show how much of the evaluation was warm
+	// instantiation rather than recompilation.
+	defer func() {
+		fmt.Printf("programs: %s\n", mperf.DefaultProgramCache().Stats())
+	}()
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {

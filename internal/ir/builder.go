@@ -35,6 +35,7 @@ func (b *Builder) insert(i *Instr) *Instr {
 	if b.blk == nil {
 		panic("ir: builder has no insertion block")
 	}
+	b.fn.Mod.mustMutable("Builder emission")
 	if i.Ty != Void && i.name == "" {
 		i.name = b.fn.uniqueValueName("t")
 	}
@@ -188,6 +189,9 @@ func (b *Builder) Phi(ty Type) *Instr {
 func AddIncoming(phi *Instr, v Value, from *Block) {
 	if phi.Op != OpPhi {
 		panic("ir: AddIncoming on non-phi")
+	}
+	if from != nil && from.fn != nil {
+		from.fn.Mod.mustMutable("AddIncoming")
 	}
 	phi.Args = append(phi.Args, v)
 	phi.Blocks = append(phi.Blocks, from)

@@ -1,0 +1,49 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanicFrozen(t *testing.T, op string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s on frozen module did not panic", op)
+			return
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "frozen module") {
+			t.Errorf("%s panic = %v, want a frozen-module message", op, r)
+		}
+	}()
+	f()
+}
+
+func TestFrozenModuleRejectsMutation(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", I64, NewParam("n", I64))
+	b := NewBuilder(f)
+	b.NewBlock("entry")
+	b.Ret(ConstInt(I64, 0))
+	if m.Frozen() {
+		t.Fatal("module frozen before Freeze")
+	}
+	m.Freeze()
+	m.Freeze() // idempotent
+	if !m.Frozen() {
+		t.Fatal("Freeze did not stick")
+	}
+
+	mustPanicFrozen(t, "NewFunc", func() { m.NewFunc("g", I64) })
+	mustPanicFrozen(t, "NewGlobal", func() { m.NewGlobal("data", F32, 8) })
+	mustPanicFrozen(t, "AddLoopMeta", func() { m.AddLoopMeta(LoopMeta{FuncName: "f"}) })
+	mustPanicFrozen(t, "NewBlock", func() { f.NewBlock("late") })
+	mustPanicFrozen(t, "SetHint", func() { f.SetHint("trip_multiple.loop", 4) })
+	mustPanicFrozen(t, "Builder emission", func() { b.Add(f.Params[0], ConstInt(I64, 1)) })
+
+	// Reads stay allowed on a frozen module.
+	if m.FuncByName("f") != f {
+		t.Error("frozen module lost its function")
+	}
+}

@@ -170,6 +170,7 @@ func (f *Func) Entry() *Block {
 
 // NewBlock appends a new block with a unique label derived from name.
 func (f *Func) NewBlock(name string) *Block {
+	f.Mod.mustMutable("NewBlock")
 	if name == "" {
 		name = "bb"
 	}
@@ -208,6 +209,7 @@ func (f *Func) UniqueValueName(prefix string) string { return f.uniqueValueName(
 
 // SetHint records a front-end hint (see Hints).
 func (f *Func) SetHint(key string, v int64) {
+	f.Mod.mustMutable("SetHint")
 	if f.Hints == nil {
 		f.Hints = make(map[string]int64)
 	}
@@ -240,6 +242,27 @@ type Module struct {
 	// Loops is the registry of instrumented regions, filled by the
 	// instrumentation pass and consumed by the runtime.
 	Loops []LoopMeta
+
+	// frozen marks the module immutable (see Freeze).
+	frozen bool
+}
+
+// Freeze marks the module immutable: the pass pipeline and vm.Compile
+// call it once compilation is done, so a module backing a shared
+// compiled Program can never drift under running machines. After
+// Freeze, every construction API (NewFunc, NewGlobal, NewBlock,
+// Builder emission, AddIncoming, SetHint, AddLoopMeta) panics.
+// Freezing twice is a no-op.
+func (m *Module) Freeze() { m.frozen = true }
+
+// Frozen reports whether the module has been frozen.
+func (m *Module) Frozen() bool { return m != nil && m.frozen }
+
+// mustMutable panics when a construction API runs on a frozen module.
+func (m *Module) mustMutable(op string) {
+	if m.Frozen() {
+		panic(fmt.Sprintf("ir: %s on frozen module @%s (compiled modules are immutable)", op, m.MName))
+	}
 }
 
 // NewModule creates an empty module.
@@ -249,6 +272,7 @@ func NewModule(name string) *Module {
 
 // NewFunc declares a function with the given signature.
 func (m *Module) NewFunc(name string, ret Type, params ...*Param) *Func {
+	m.mustMutable("NewFunc")
 	f := &Func{FName: name, RetTy: ret, Params: params, Mod: m}
 	for i, p := range params {
 		p.Index = i
@@ -263,6 +287,7 @@ func NewParam(name string, ty Type) *Param { return &Param{PName: name, Ty: ty} 
 
 // NewGlobal declares a zero-initialized global array.
 func (m *Module) NewGlobal(name string, elem Type, count int) *Global {
+	m.mustMutable("NewGlobal")
 	g := &Global{GName: name, Elem: elem, Count: count}
 	m.Globals = append(m.Globals, g)
 	return g
@@ -290,6 +315,7 @@ func (m *Module) GlobalByName(name string) *Global {
 
 // AddLoopMeta registers an instrumented loop and returns its ID.
 func (m *Module) AddLoopMeta(meta LoopMeta) int64 {
+	m.mustMutable("AddLoopMeta")
 	meta.ID = int64(len(m.Loops) + 1)
 	m.Loops = append(m.Loops, meta)
 	return meta.ID

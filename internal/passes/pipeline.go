@@ -42,8 +42,11 @@ type PipelineResult struct {
 	Instrumented []InstrumentResult
 }
 
-// RunPipeline applies the configured passes to the module in place and
-// verifies the result.
+// RunPipeline applies the configured passes to the module in place,
+// verifies the result, and freezes the module: a post-pipeline module
+// is a finished compilation artifact (vm.Compile plans it into a
+// shared immutable Program), so any later mutation is a bug and the
+// construction APIs panic on it.
 func RunPipeline(m *ir.Module, opt PipelineOptions) (*PipelineResult, error) {
 	res := &PipelineResult{
 		VectorizedLoops:  make(map[string][]string),
@@ -84,6 +87,7 @@ func RunPipeline(m *ir.Module, opt PipelineOptions) (*PipelineResult, error) {
 		}
 		res.Instrumented = inst
 	}
+	m.Freeze()
 	return res, nil
 }
 

@@ -57,6 +57,13 @@ func (r *RunResult) LoopByFunc(name string) (*LoopResult, bool) {
 // (baseline timing) and once enabled (metric collection); the results
 // are correlated per region. The workload must be deterministic across
 // runs — limitation four of §4.4.
+//
+// Both phases execute on the one machine passed in (caches reset
+// between phases, mirroring the real workflow's separate process
+// executions), so callers pay a single instantiation; the machine
+// itself typically comes off a cached instrumented vm.Program, which
+// replaces the per-phase rebuilds of the pre-cache workflow with one
+// compile per (platform pipeline, workload) pair.
 func RunTwoPhase(m *vm.Machine, entry string, args []uint64) (*RunResult, error) {
 	rt := mperfrt.New(func() uint64 { return m.Hart().Core.Cycles() })
 	m.SetRuntime(rt)

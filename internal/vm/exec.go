@@ -113,6 +113,7 @@ func (m *Machine) storeScalar(addr uint64, ty ir.Type, v uint64) {
 	if addr < memBase || addr+uint64(size) > uint64(len(m.mem)) {
 		trapf("store to invalid address %#x", addr)
 	}
+	m.markDirty(addr, size)
 	switch size {
 	case 1:
 		m.mem[addr] = byte(v)

@@ -42,10 +42,10 @@ func trapf(format string, args ...interface{}) {
 	panic(trap{fmt.Sprintf(format, args...)})
 }
 
-// frame is one activation record. Frames are pooled per funcPlan, so
-// the register files and vector buffers are reused across activations;
-// SSA dominance (enforced by ir.Verify) guarantees stale contents are
-// never observed.
+// frame is one activation record. Frames are pooled per machine and
+// funcPlan, so the register files and vector buffers are reused across
+// activations; SSA dominance (enforced by ir.Verify) guarantees stale
+// contents are never observed.
 type frame struct {
 	fp        *funcPlan
 	regs      []uint64
@@ -89,32 +89,41 @@ const (
 	memBase = 0x1000 // null guard below
 	// stackSize bounds the alloca stack. The catalog workloads place
 	// their arrays in globals and use at most a few KiB of allocas per
-	// frame, so 4 MiB is generous; keeping it small matters because
-	// every Machine zeroes this much backing store at construction.
+	// frame, so 4 MiB is generous; instance pooling (Release) means the
+	// backing store is zeroed only up to the dirtied high-water mark,
+	// not wholesale per machine.
 	stackSize      = 4 << 20
 	maxCallDepth   = 512
 	defaultMaxStep = 1 << 62
 )
 
-// Machine is a loaded module bound to a simulated platform: the
-// analogue of a compiled binary running on one hart with its kernel.
+// Machine is one instance of a compiled Program bound to a simulated
+// platform: the analogue of one process running a binary on one hart
+// with its kernel. It holds only mutable state — the memory image,
+// stack, frame pools, hart and PMU; all compiled code is shared through
+// the immutable Program.
 type Machine struct {
+	prog *Program
 	plat *platform.Platform
-	mod  *ir.Module
 	hart *platform.Hart
 	kern *kernel.Subsystem
 	rt   Runtime
 
-	mem        []byte
-	globalAddr map[string]uint64
-	plans      map[*ir.Func]*funcPlan
-	symbols    []symbol
+	mem []byte
+	// memRef is the pooled backing buffer handed back on Release.
+	memRef *[]byte
+	// dirtyHigh is the high-water mark of stored-to memory (exclusive);
+	// Release zeroes only [memBase, dirtyHigh).
+	dirtyHigh uint64
 
-	stackBase uint64
-	stackTop  uint64
+	stackTop uint64
 
 	frames   []*frame
 	frameSeq uint32
+	// framePools recycles frames per funcPlan (indexed by plan index).
+	// Pooling is per-machine so that machines sharing one Program never
+	// exchange register files.
+	framePools [][]*frame
 
 	// MaxSteps bounds interpreted instructions (runaway guard; checked
 	// at block granularity, so it may overshoot by one block).
@@ -133,48 +142,25 @@ type Machine struct {
 	phiScratch []uint64
 }
 
-// New loads a verified module onto a fresh hart of the platform.
+// New compiles a verified module and instantiates it on a fresh hart of
+// the platform: Compile + NewMachine for callers that need exactly one
+// machine. Repeated instantiation should compile once and share the
+// Program.
 func New(p *platform.Platform, mod *ir.Module) (*Machine, error) {
-	if err := ir.Verify(mod); err != nil {
-		return nil, fmt.Errorf("vm: module does not verify: %w", err)
-	}
-	m := &Machine{
-		plat:       p,
-		mod:        mod,
-		hart:       p.NewHart(),
-		globalAddr: make(map[string]uint64),
-		plans:      make(map[*ir.Func]*funcPlan),
-		MaxSteps:   defaultMaxStep,
-		vlenBytes:  p.Core.VectorLanes32 * 4,
-	}
-	m.kern = kernel.New(m.hart.Firmware, m)
-
-	// Lay out globals then the alloca stack.
-	addr := uint64(memBase)
-	for _, g := range mod.Globals {
-		addr = align(addr, 64)
-		m.globalAddr[g.GName] = addr
-		addr += uint64(g.SizeBytes())
-	}
-	m.stackBase = align(addr, 64)
-	m.stackTop = m.stackBase
-	m.mem = make([]byte, m.stackBase+stackSize)
-
-	pl := &planner{m: m, plans: m.plans, nextBase: 0x400000}
-	if err := pl.planModule(mod); err != nil {
+	prog, err := Compile(mod)
+	if err != nil {
 		return nil, err
 	}
-	for f, fp := range m.plans {
-		m.symbols = append(m.symbols, symbol{base: fp.base, end: fp.base + fp.size, name: f.FName})
-	}
-	sort.Slice(m.symbols, func(i, j int) bool { return m.symbols[i].base < m.symbols[j].base })
-	return m, nil
+	return NewMachine(prog, p), nil
 }
 
 func align(a, to uint64) uint64 { return (a + to - 1) &^ (to - 1) }
 
 // Platform returns the platform the machine simulates.
 func (m *Machine) Platform() *platform.Platform { return m.plat }
+
+// Program returns the shared compiled artifact this machine executes.
+func (m *Machine) Program() *Program { return m.prog }
 
 // Hart returns the underlying hardware stack.
 func (m *Machine) Hart() *platform.Hart { return m.hart }
@@ -183,7 +169,7 @@ func (m *Machine) Hart() *platform.Hart { return m.hart }
 func (m *Machine) Kernel() *kernel.Subsystem { return m.kern }
 
 // Module returns the loaded module.
-func (m *Machine) Module() *ir.Module { return m.mod }
+func (m *Machine) Module() *ir.Module { return m.prog.mod }
 
 // SetRuntime installs the instrumentation runtime.
 func (m *Machine) SetRuntime(rt Runtime) { m.rt = rt }
@@ -219,20 +205,17 @@ func (m *Machine) FreqHz() float64 { return m.plat.Core.FreqHz }
 
 // Symbolize maps a sampled address to the containing function.
 func (m *Machine) Symbolize(addr uint64) (string, bool) {
-	i := sort.Search(len(m.symbols), func(i int) bool { return m.symbols[i].end > addr })
-	if i < len(m.symbols) && addr >= m.symbols[i].base {
-		return m.symbols[i].name, true
+	syms := m.prog.symbols
+	i := sort.Search(len(syms), func(i int) bool { return syms[i].end > addr })
+	if i < len(syms) && addr >= syms[i].base {
+		return syms[i].name, true
 	}
 	return "", false
 }
 
 // GlobalAddr returns the load address of a global.
 func (m *Machine) GlobalAddr(name string) (uint64, error) {
-	a, ok := m.globalAddr[name]
-	if !ok {
-		return 0, fmt.Errorf("vm: no global @%s", name)
-	}
-	return a, nil
+	return m.prog.GlobalAddr(name)
 }
 
 // --- host access to simulated memory (for workload setup/checks) ---
@@ -244,11 +227,20 @@ func (m *Machine) check(addr uint64, size int) error {
 	return nil
 }
 
+// markDirty advances the dirty high-water mark past a store, so
+// Release knows how much memory to scrub before pooling it.
+func (m *Machine) markDirty(addr uint64, size int) {
+	if end := addr + uint64(size); end > m.dirtyHigh {
+		m.dirtyHigh = end
+	}
+}
+
 // WriteF32 stores a float32 at addr.
 func (m *Machine) WriteF32(addr uint64, v float32) error {
 	if err := m.check(addr, 4); err != nil {
 		return err
 	}
+	m.markDirty(addr, 4)
 	binary.LittleEndian.PutUint32(m.mem[addr:], math.Float32bits(v))
 	return nil
 }
@@ -266,6 +258,7 @@ func (m *Machine) WriteF64(addr uint64, v float64) error {
 	if err := m.check(addr, 8); err != nil {
 		return err
 	}
+	m.markDirty(addr, 8)
 	binary.LittleEndian.PutUint64(m.mem[addr:], math.Float64bits(v))
 	return nil
 }
@@ -283,6 +276,7 @@ func (m *Machine) WriteU64(addr uint64, v uint64) error {
 	if err := m.check(addr, 8); err != nil {
 		return err
 	}
+	m.markDirty(addr, 8)
 	binary.LittleEndian.PutUint64(m.mem[addr:], v)
 	return nil
 }
@@ -300,6 +294,7 @@ func (m *Machine) StoreByte(addr uint64, v byte) error {
 	if err := m.check(addr, 1); err != nil {
 		return err
 	}
+	m.markDirty(addr, 1)
 	m.mem[addr] = v
 	return nil
 }
@@ -317,11 +312,11 @@ func (m *Machine) LoadByte(addr uint64) (byte, error) {
 // Run executes the named function with raw-bits scalar arguments and
 // returns the raw-bits result.
 func (m *Machine) Run(name string, args ...uint64) (result uint64, err error) {
-	f := m.mod.FuncByName(name)
+	f := m.prog.mod.FuncByName(name)
 	if f == nil {
 		return 0, fmt.Errorf("vm: no function @%s", name)
 	}
-	fp, ok := m.plans[f]
+	fp, ok := m.prog.plans[f]
 	if !ok {
 		return 0, fmt.Errorf("vm: function @%s not planned", name)
 	}
@@ -364,9 +359,9 @@ func (m *Machine) call(fp *funcPlan, args []uint64) (uint64, []uint64) {
 	}
 	m.frameSeq++
 	var fr *frame
-	if n := len(fp.free); n > 0 {
-		fr = fp.free[n-1]
-		fp.free = fp.free[:n-1]
+	if pool := m.framePools[fp.index]; len(pool) > 0 {
+		fr = pool[len(pool)-1]
+		m.framePools[fp.index] = pool[:len(pool)-1]
 	} else {
 		fr = &frame{
 			fp:    fp,
@@ -413,7 +408,7 @@ func (m *Machine) call(fp *funcPlan, args []uint64) (uint64, []uint64) {
 			// Unwind without defer (traps restore state in Run instead).
 			m.frames = m.frames[:len(m.frames)-1]
 			m.stackTop = fr.stackSave
-			fp.free = append(fp.free, fr)
+			m.framePools[fp.index] = append(m.framePools[fp.index], fr)
 			return fr.retVal, fr.retVec
 		default:
 			bp = next

@@ -89,7 +89,9 @@ type blockPlan struct {
 	pc uint64
 }
 
-// funcPlan is a pre-decoded function.
+// funcPlan is a pre-decoded function. Plans are immutable after
+// Compile: they are shared by every machine of a Program, so all
+// per-activation state (including frame pooling) lives on the Machine.
 type funcPlan struct {
 	fn      *ir.Func
 	entry   *blockPlan
@@ -97,16 +99,16 @@ type funcPlan struct {
 	numRegs int
 	base    uint64 // synthetic address range [base, base+size)
 	size    uint64
+	// index is the plan's position in the program's plan order; it keys
+	// the per-machine frame pools.
+	index int
 	// intrinsic is non-empty for runtime-dispatched declarations.
 	intrinsic string
-	// free pools returned frames so repeated calls reuse register
-	// files and vector buffers instead of reallocating them.
-	free []*frame
 }
 
 // planner compiles a module into executable plans.
 type planner struct {
-	m        *Machine
+	prog     *Program
 	plans    map[*ir.Func]*funcPlan
 	nextBase uint64
 	nextBrID uint32
@@ -116,8 +118,8 @@ type planner struct {
 const blockAddrStride = 64
 
 func (p *planner) planModule(mod *ir.Module) error {
-	for _, f := range mod.Funcs {
-		fp := &funcPlan{fn: f, base: p.nextBase}
+	for i, f := range mod.Funcs {
+		fp := &funcPlan{fn: f, base: p.nextBase, index: i}
 		if len(f.Blocks) == 0 {
 			if !isIntrinsic(f.FName) {
 				return fmt.Errorf("vm: function @%s has no body and is not a runtime intrinsic", f.FName)
@@ -178,7 +180,7 @@ func (p *planner) planFunc(f *ir.Func) error {
 		case *ir.Const:
 			return operand{reg: -1, imm: constBits(x)}, nil
 		case *ir.Global:
-			addr, ok := p.m.globalAddr[x.GName]
+			addr, ok := p.prog.globalAddr[x.GName]
 			if !ok {
 				return operand{}, fmt.Errorf("unallocated global @%s", x.GName)
 			}

@@ -1,0 +1,153 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+
+	"mperf/internal/platform"
+)
+
+// These tests pin the Program/Machine split: one immutable compiled
+// artifact shared by many machines, each with private memory, frames
+// and PMU state. The concurrency test is the -race acceptance check:
+// machines off one Program must produce bit-identical architectural
+// results when executed from many goroutines at once.
+
+// fillSumData writes the deterministic input pattern vm_test's
+// fillData uses, without the testing.T plumbing.
+func fillSumData(t *testing.T, m *Machine, n int) {
+	t.Helper()
+	addr, err := m.GlobalAddr("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := m.WriteF32(addr+uint64(i*4), float32(i%7)*0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type archResult struct {
+	bits    uint64
+	cycles  uint64
+	instret uint64
+}
+
+func TestSharedProgramConcurrentMachines(t *testing.T) {
+	const n = 2048
+	prog, err := Compile(buildSumModule(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := prog.GlobalAddr("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runOnce := func() archResult {
+		m := NewMachine(prog, platform.X60())
+		defer m.Release()
+		fillSumData(t, m, n)
+		bits, err := m.Run("sum", addr, uint64(n))
+		if err != nil {
+			t.Error(err)
+		}
+		st := m.Hart().Core.Stats()
+		return archResult{bits: bits, cycles: st.Cycles, instret: st.Instret}
+	}
+
+	want := runOnce()
+	if want.cycles == 0 || want.instret == 0 {
+		t.Fatalf("reference run did not charge the core: %+v", want)
+	}
+
+	const goroutines, rounds = 8, 4
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if got := runOnce(); got != want {
+					t.Errorf("shared-program run diverged: got %+v, want %+v", got, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestReleasedMemoryIsScrubbedBeforeReuse(t *testing.T) {
+	const n = 512
+	prog, err := Compile(buildSumModule(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(prog, platform.X60())
+	fillSumData(t, m, n)
+	addr, _ := m.GlobalAddr("data")
+	if v, err := m.ReadF32(addr + 4); err != nil || v == 0 {
+		t.Fatalf("seed write not visible: v=%v err=%v", v, err)
+	}
+	m.Release()
+	m.Release() // double release must be a no-op
+
+	// The next machine very likely reuses the pooled buffer; either
+	// way it must observe pristine zeroed globals.
+	m2 := NewMachine(prog, platform.X60())
+	defer m2.Release()
+	for i := 0; i < n; i++ {
+		if v, err := m2.ReadF32(addr + uint64(i*4)); err != nil || v != 0 {
+			t.Fatalf("pooled memory not scrubbed at elem %d: v=%v err=%v", i, v, err)
+		}
+	}
+}
+
+func TestProgramDataImageBakesSeed(t *testing.T) {
+	const n = 256
+	prog, err := Compile(buildSumModule(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := prog.GlobalAddr("data")
+
+	// Seed one machine by hand and capture its data image.
+	seeder := NewMachine(prog, platform.X60())
+	fillSumData(t, seeder, n)
+	want, err := seeder.Run("sum", addr, uint64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-seed so the snapshot is the pre-run image (the run itself does
+	// not write globals for this kernel, but be explicit).
+	fillSumData(t, seeder, n)
+	if err := prog.SetDataImage(seeder.SnapshotData()); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.SetDataImage(seeder.SnapshotData()); err == nil {
+		t.Error("second SetDataImage should be rejected")
+	}
+	seeder.Release()
+
+	// A fresh machine needs no seeding: the image is copied in.
+	m := NewMachine(prog, platform.X60())
+	defer m.Release()
+	got, err := m.Run("sum", addr, uint64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("image-instantiated run = %#x, want %#x", got, want)
+	}
+}
+
+func TestSetDataImageRejectsWrongSize(t *testing.T) {
+	prog, err := Compile(buildSumModule(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.SetDataImage(make([]byte, prog.DataSize()+1)); err == nil {
+		t.Error("oversized image accepted")
+	}
+}

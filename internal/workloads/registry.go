@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"mperf/internal/ir"
+	"mperf/internal/passes"
+	"mperf/internal/platform"
 	"mperf/internal/vm"
 )
 
@@ -42,6 +44,52 @@ func (s *Spec) Run(m *vm.Machine) error {
 	return err
 }
 
+// BuildProgram is the pure compile path of a workload: it builds the
+// module, optionally runs it through the platform's vectorizer
+// pipeline (with or without roofline instrumentation), and compiles it
+// into an immutable vm.Program. When the spec has a Seed, its
+// deterministic output is baked into the program's initial data image,
+// so instantiating a machine is a memory copy and needs no re-seeding
+// (Seed itself stays a per-instance operation for callers that manage
+// machines directly). The result depends only on (workload, params,
+// pipeline profile, lanes, instrument) — platforms whose pipeline
+// configuration matches may share one Program.
+func (s *Spec) BuildProgram(plat *platform.Platform, optimize, instrument bool) (*vm.Program, error) {
+	mod := ir.NewModule(s.Name)
+	if err := s.Build(mod); err != nil {
+		return nil, fmt.Errorf("workloads: building %s: %w", s.Name, err)
+	}
+	if optimize {
+		profile, err := passes.ProfileByName(plat.VectorizerProfile)
+		if err != nil {
+			return nil, fmt.Errorf("workloads: %w", err)
+		}
+		if _, err := passes.RunPipeline(mod, passes.PipelineOptions{
+			Profile:    profile,
+			Lanes:      plat.Core.VectorLanes32,
+			Interleave: true,
+			Instrument: instrument,
+		}); err != nil {
+			return nil, fmt.Errorf("workloads: pipeline for %s: %w", s.Name, err)
+		}
+	}
+	prog, err := vm.Compile(mod)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: compiling %s: %w", s.Name, err)
+	}
+	if s.Seed != nil {
+		m := vm.NewMachine(prog, plat)
+		if err := s.Seed(m); err != nil {
+			return nil, fmt.Errorf("workloads: seeding %s: %w", s.Name, err)
+		}
+		if err := prog.SetDataImage(m.SnapshotData()); err != nil {
+			return nil, err
+		}
+		m.Release()
+	}
+	return prog, nil
+}
+
 // Params sizes a workload resolved from the registry. Zero values mean
 // the workload's defaults; fields irrelevant to a given workload are
 // ignored, so one Params can parameterize a whole matrix sweep.
@@ -63,6 +111,21 @@ func (p Params) elems() int {
 		return p.Elems
 	}
 	return 1 << 16
+}
+
+// Fingerprint renders the params as a stable, canonical cache-key
+// component: two Params build identical workload modules if and only
+// if their fingerprints match (fields a workload ignores are still
+// included — a coarser key only costs a duplicate compile, never a
+// wrong hit).
+func (p Params) Fingerprint() string {
+	sq := "-"
+	if p.Sqlite != nil {
+		c := *p.Sqlite
+		sq = fmt.Sprintf("%d.%d.%d.%d.%d.%d", c.ProgLen, c.Rows, c.Queries, c.CellArea, c.TextArea, c.PatLen)
+	}
+	return fmt.Sprintf("sqlite=%s n=%d tile=%d elems=%d memset=%d",
+		sq, p.MatmulN, p.MatmulTile, p.Elems, p.MemsetWords)
 }
 
 // Factory builds a Spec for the given parameters.

@@ -1,0 +1,136 @@
+package mperf
+
+import (
+	"fmt"
+	"sync"
+
+	"mperf/internal/vm"
+)
+
+// ProgramKey identifies one compiled artifact in a ProgramCache. It is
+// the "plan key" of a build: everything that shapes the immutable
+// vm.Program and nothing that doesn't. Platform identity deliberately
+// enters only through the pipeline configuration (Profile, Lanes) —
+// an unoptimized build is platform-portable, so paired-platform
+// studies (Table 2's X60-vs-i5 runs) share one compile.
+type ProgramKey struct {
+	// Workload is the registry name ("sqlite", "matmul", ...).
+	Workload string
+	// Params is the canonical workloads.Params fingerprint.
+	Params string
+	// Profile and Lanes describe the vectorizer pipeline the module
+	// went through; both are zero for unoptimized builds.
+	Profile string
+	Lanes   int
+	// Instrument records whether the roofline instrumentation pass ran.
+	Instrument bool
+}
+
+// CompileStats counts compiles against cache hits, making the
+// compile-once behaviour observable (Profile.CompileStats, -json).
+type CompileStats struct {
+	// Compiled is the number of programs actually built.
+	Compiled uint64 `json:"compiled"`
+	// CacheHits is the number of builds satisfied by a cached program.
+	CacheHits uint64 `json:"cache_hits"`
+}
+
+// HitRate returns hits / (hits + compiles), 0 when nothing ran.
+func (s CompileStats) HitRate() float64 {
+	total := s.Compiled + s.CacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// cacheEntry is one in-flight or finished compile. done closes when
+// prog/err are settled, giving singleflight semantics without a
+// per-key goroutine.
+type cacheEntry struct {
+	done chan struct{}
+	prog *vm.Program
+	err  error
+}
+
+// ProgramCache deduplicates program compilation across sessions,
+// sweeps and experiments. Concurrent Gets for the same key collapse
+// into a single build (the first caller compiles, the rest wait on the
+// result), so a matrix sweep compiles each distinct program exactly
+// once no matter how its cells are scheduled.
+//
+// Sessions use the process-wide default cache unless WithProgramCache
+// overrides it. Entries are held until Reset — programs are small
+// (plans plus the seeded data image) and the catalog is finite.
+type ProgramCache struct {
+	mu      sync.Mutex
+	entries map[ProgramKey]*cacheEntry
+	stats   CompileStats
+}
+
+// NewProgramCache returns an empty cache.
+func NewProgramCache() *ProgramCache {
+	return &ProgramCache{entries: make(map[ProgramKey]*cacheEntry)}
+}
+
+// defaultProgramCache backs every session that does not bring its own.
+var defaultProgramCache = NewProgramCache()
+
+// DefaultProgramCache returns the process-wide cache shared by all
+// sessions opened without WithProgramCache.
+func DefaultProgramCache() *ProgramCache { return defaultProgramCache }
+
+// Get returns the program for key, invoking build at most once per key
+// for the cache's lifetime. hit reports whether the result came from
+// the cache (including waiting on another goroutine's in-flight
+// build). Build errors are cached too: compilation is deterministic,
+// so retrying an identical build cannot succeed.
+func (c *ProgramCache) Get(key ProgramKey, build func() (*vm.Program, error)) (prog *vm.Program, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		c.mu.Lock()
+		c.stats.CacheHits++
+		c.mu.Unlock()
+		return e.prog, true, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.stats.Compiled++
+	c.mu.Unlock()
+
+	e.prog, e.err = build()
+	close(e.done)
+	return e.prog, false, e.err
+}
+
+// Stats returns the cache's cumulative compile/hit counters.
+func (c *ProgramCache) Stats() CompileStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached programs (including in-flight
+// builds).
+func (c *ProgramCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every cached program and zeroes the counters. It must
+// not race with in-flight Gets that expect their entries to persist;
+// callers sequence Reset between runs.
+func (c *ProgramCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[ProgramKey]*cacheEntry)
+	c.stats = CompileStats{}
+}
+
+// String renders the counters for log lines.
+func (s CompileStats) String() string {
+	return fmt.Sprintf("%d compiled, %d cache hits", s.Compiled, s.CacheHits)
+}

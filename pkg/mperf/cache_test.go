@@ -1,0 +1,162 @@
+package mperf_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mperf/internal/platform"
+	"mperf/internal/vm"
+	"mperf/internal/workloads"
+	"mperf/pkg/mperf"
+)
+
+// smallOpts sizes every catalog workload down so whole-catalog cache
+// tests stay fast, and restricts stat to the events every platform's
+// counters can host.
+func smallOpts(cache *mperf.ProgramCache) []mperf.Option {
+	return []mperf.Option{
+		mperf.WithProgramCache(cache),
+		mperf.WithElems(512),
+		mperf.WithMemsetWords(512),
+		mperf.WithMatmulSize(16, 8),
+		mperf.WithSqliteConfig(workloads.SqliteConfig{
+			ProgLen: 16, Rows: 4, Queries: 1, CellArea: 256, TextArea: 256, PatLen: 4,
+		}),
+		mperf.WithStatEvents("cycles", "instructions", "branches", "branch-misses"),
+	}
+}
+
+// TestMatrixCompilesEachProgramOnce is the acceptance check for the
+// program cache: a full-catalog sweep compiles each distinct plan key
+// exactly once. The stat collector profiles the raw (unoptimized)
+// build, whose plan key is platform-portable, so the whole sweep needs
+// one compile per workload; every other cell is a cache hit.
+func TestMatrixCompilesEachProgramOnce(t *testing.T) {
+	cache := mperf.NewProgramCache()
+	res, err := mperf.RunMatrix(mperf.MatrixSpec{
+		Collectors: []string{"stat"},
+		Options:    smallOpts(cache),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cells := len(platform.Names()) * len(workloads.Names())
+	if len(res.Cells) != cells {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), cells)
+	}
+	var sum mperf.CompileStats
+	for _, cell := range res.Cells {
+		if cell.Error != "" {
+			t.Fatalf("%s × %s: %s", cell.Platform, cell.Workload, cell.Error)
+		}
+		if err := cell.Profile.Err(); err != nil {
+			t.Fatalf("%s × %s: %v", cell.Platform, cell.Workload, err)
+		}
+		cs := cell.Profile.CompileStats
+		if cs == nil {
+			t.Fatalf("%s × %s: no compile stats", cell.Platform, cell.Workload)
+		}
+		sum.Compiled += cs.Compiled
+		sum.CacheHits += cs.CacheHits
+	}
+
+	wantPrograms := uint64(len(workloads.Names()))
+	if sum.Compiled != wantPrograms {
+		t.Errorf("sweep compiled %d programs, want exactly %d (one per workload)", sum.Compiled, wantPrograms)
+	}
+	if got := sum.Compiled + sum.CacheHits; got != uint64(cells) {
+		t.Errorf("compiles+hits = %d, want one program get per cell (%d)", got, cells)
+	}
+	if st := cache.Stats(); st != sum {
+		t.Errorf("cache stats %+v disagree with per-cell sum %+v", st, sum)
+	}
+	if st := cache.Stats(); st.HitRate() <= 0 {
+		t.Errorf("hit rate = %v, want > 0", st.HitRate())
+	}
+	if cache.Len() != int(wantPrograms) {
+		t.Errorf("cache holds %d programs, want %d", cache.Len(), wantPrograms)
+	}
+}
+
+// TestCachedProfilesBitIdentical pins the invariance the whole refactor
+// rests on: for every catalog workload, a profile produced off a cached
+// program is byte-identical to one produced by a cold compile.
+func TestCachedProfilesBitIdentical(t *testing.T) {
+	for _, name := range workloads.Names() {
+		cache := mperf.NewProgramCache()
+		profile := func() []byte {
+			sess, err := mperf.Open("x60", name, smallOpts(cache)...)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			prof, err := sess.Run(mperf.MustCollectors("stat", "topdown")...)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := prof.Err(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			// The compile/hit split is the only field allowed to differ
+			// between the cold and warm runs.
+			prof.CompileStats = nil
+			data, err := json.Marshal(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return data
+		}
+		cold := profile() // first run compiles
+		warm := profile() // second run must be all cache hits
+		if st := cache.Stats(); st.Compiled != 1 || st.CacheHits == 0 {
+			t.Errorf("%s: cache stats %+v, want one compile and hits", name, st)
+		}
+		if !bytes.Equal(cold, warm) {
+			t.Errorf("%s: warm profile diverged from cold compile:\ncold: %s\nwarm: %s", name, cold, warm)
+		}
+	}
+}
+
+// TestProgramCacheSingleflight pins the dedup contract: concurrent
+// misses on one key run the build function exactly once.
+func TestProgramCacheSingleflight(t *testing.T) {
+	spec, err := workloads.Lookup("dot", workloads.Params{Elems: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := mperf.NewProgramCache()
+	key := mperf.ProgramKey{Workload: "dot", Params: "test"}
+	var builds atomic.Int32
+	var wg sync.WaitGroup
+	progs := make([]*vm.Program, 16)
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prog, _, err := cache.Get(key, func() (*vm.Program, error) {
+				builds.Add(1)
+				return spec.BuildProgram(platform.X60(), false, false)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			progs[i] = prog
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1", n)
+	}
+	for i, p := range progs {
+		if p == nil || p != progs[0] {
+			t.Fatalf("goroutine %d got a different program", i)
+		}
+	}
+	st := cache.Stats()
+	if st.Compiled != 1 || st.Compiled+st.CacheHits != 16 {
+		t.Errorf("stats = %+v, want 1 compile and 15 hits", st)
+	}
+}

@@ -14,6 +14,15 @@ import (
 // build whatever machine flavor they need from the session (raw for
 // counting/sampling, instrumented for the two-phase roofline), execute
 // the workload, and write their slice of the Profile.
+//
+// Every collector gets its own Machine, but machines are instantiated
+// from shared immutable vm.Programs: collectors that need the same
+// build flavor (stat, record and topdown all profile the raw build;
+// workload data lives in per-machine memory, so no collector can
+// perturb another) share one cached compile, and the isolation cost of
+// a "fresh machine per collector" is a memory copy, not a rebuild.
+// Collectors Release their machine once its counters are read, so the
+// instance memory recycles through the program's pool.
 type Collector interface {
 	// Name is the registry key ("stat", "record", ...), recorded in
 	// Profile.Collectors and used to attribute failures.
@@ -96,6 +105,7 @@ func (statCollector) Collect(s *Session, p *Profile) error {
 	if err != nil {
 		return err
 	}
+	m.Release()
 	p.Events = res.Values
 	p.ElapsedSeconds = res.ElapsedSeconds
 	p.IPC = res.IPC()
@@ -138,6 +148,7 @@ func (recordCollector) Collect(s *Session, p *Profile) error {
 	if p.IPC == 0 {
 		p.IPC = m.Hart().Core.Stats().IPC()
 	}
+	m.Release()
 	return nil
 }
 
@@ -161,6 +172,7 @@ func (rooflineCollector) Collect(s *Session, p *Profile) error {
 	if err != nil {
 		return err
 	}
+	m.Release()
 	plat := s.plat
 	model := &roofline.Model{
 		Platform: plat.Name,
@@ -206,6 +218,7 @@ func (topdownCollector) Collect(s *Session, p *Profile) error {
 	if err != nil {
 		return err
 	}
+	m.Release()
 	p.TopDown = &TopDownResult{
 		Retiring:       b.Retiring,
 		BadSpeculation: b.BadSpeculation,

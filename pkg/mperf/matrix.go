@@ -101,7 +101,12 @@ func Parallel(parallelism int, tasks ...func() error) error {
 // a typo fails fast; per-cell failures (a platform that cannot sample,
 // a workload that cannot load) are recorded in the cell and never
 // abort the sweep. The result order is deterministic regardless of
-// parallelism.
+// parallelism. Cells compile through the shared program cache (the
+// default one, or whatever WithProgramCache passes in Options), so
+// cells with the same plan key — every platform's unoptimized build of
+// one workload, for instance — share a single compile and the rest of
+// the sweep is warm instantiation; per-cell Profile.CompileStats
+// records the split.
 func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
 	plats := spec.Platforms
 	if len(plats) == 0 {

@@ -36,6 +36,11 @@ type Profile struct {
 	// TopDown collector.
 	TopDown *TopDownResult `json:"topdown,omitempty"`
 
+	// CompileStats counts how many programs this run actually compiled
+	// versus served from the session's program cache, making the
+	// compile-once behaviour observable in -json output.
+	CompileStats *CompileStats `json:"compile_stats,omitempty"`
+
 	// Errors records per-collector failures. A collector that cannot
 	// run on a platform (sampling on the U74) reports here instead of
 	// aborting the session, so matrix sweeps always complete.

@@ -13,16 +13,34 @@
 //
 // RunMatrix sweeps platforms × workloads × collectors with a bounded
 // worker pool for batch scenario studies.
+//
+// # Program caching
+//
+// Compilation is compile-once, instantiate-many: sessions build
+// immutable vm.Program artifacts (verified post-pipeline IR, pre-bound
+// execution plans, global layout and seeded data image) and share them
+// through a ProgramCache keyed by
+//
+//	(workload, params fingerprint, vectorizer profile, lanes, instrument)
+//
+// — the plan key. Unoptimized builds carry an empty profile, so every
+// platform's raw build of the same sized workload is one cached
+// program; optimized builds separate exactly where the platform's
+// pipeline configuration differs. Concurrent cache misses on one key
+// collapse into a single build (singleflight), so matrix sweeps
+// compile each distinct program exactly once regardless of scheduling.
+// All sessions share DefaultProgramCache unless WithProgramCache
+// supplies a private one; Profile.CompileStats reports each run's
+// compiles-vs-hits so the reuse is observable in -json output.
 package mperf
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
-	"mperf/internal/ir"
 	"mperf/internal/isa"
-	"mperf/internal/passes"
 	"mperf/internal/platform"
 	"mperf/internal/vm"
 	"mperf/internal/workloads"
@@ -62,6 +80,7 @@ type config struct {
 	params     workloads.Params
 	sampleFreq uint64
 	statEvents []string
+	cache      *ProgramCache
 }
 
 // Option configures a Session at Open time.
@@ -100,13 +119,28 @@ func WithStatEvents(names ...string) Option {
 	return func(c *config) { c.statEvents = names }
 }
 
+// WithProgramCache makes the session compile through the given cache
+// instead of the process-wide default, isolating its compiles (tests,
+// cold-path measurements) or scoping a cache to one sweep. A nil cache
+// restores the default.
+func WithProgramCache(cache *ProgramCache) Option {
+	return func(c *config) { c.cache = cache }
+}
+
 // Session is one platform × workload binding, ready to run collectors.
 type Session struct {
 	plat       *platform.Platform
 	spec       *workloads.Spec
+	params     workloads.Params
+	cache      *ProgramCache
 	sampleFreq uint64
 	statEvents []isa.EventCode
 	statLabels []string
+
+	// compiled/hits track this session's traffic through the program
+	// cache; Session.Run reports the per-run delta as CompileStats.
+	compiled atomic.Uint64
+	hits     atomic.Uint64
 }
 
 // Open resolves the platform and workload through their registries and
@@ -125,7 +159,11 @@ func Open(platformName, workloadName string, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mperf: %w", err)
 	}
-	s := &Session{plat: plat, spec: spec, sampleFreq: cfg.sampleFreq}
+	cache := cfg.cache
+	if cache == nil {
+		cache = defaultProgramCache
+	}
+	s := &Session{plat: plat, spec: spec, params: cfg.params, cache: cache, sampleFreq: cfg.sampleFreq}
 	names := cfg.statEvents
 	if len(names) == 0 {
 		names = defaultStatEvents
@@ -157,50 +195,59 @@ func (s *Session) StatLabels() []string {
 	return append([]string(nil), s.statLabels...)
 }
 
-// NewMachine builds the workload unoptimized on a fresh hart — the raw
-// build the counting and sampling collectors profile, with cold caches
-// and a zeroed PMU.
+// NewMachine instantiates the workload unoptimized on a fresh hart —
+// the raw build the counting and sampling collectors profile, with
+// cold caches and a zeroed PMU. The compiled program (including the
+// seeded data image) comes from the session's program cache, so only
+// the first machine of a given plan key pays for compilation; every
+// later one is an O(memory copy) instantiation.
 func (s *Session) NewMachine() (*vm.Machine, error) {
-	return s.build(false, false)
+	return s.instantiate(false, false)
 }
 
-// NewOptimizedMachine compiles the workload through the platform's
-// vectorizer pipeline (the per-target builds of §5.2) on a fresh hart.
-// With instrument set, the roofline instrumentation pass adds the
-// two-phase region counters.
+// NewOptimizedMachine instantiates the workload compiled through the
+// platform's vectorizer pipeline (the per-target builds of §5.2) on a
+// fresh hart. With instrument set, the roofline instrumentation pass
+// adds the two-phase region counters. Cached like NewMachine.
 func (s *Session) NewOptimizedMachine(instrument bool) (*vm.Machine, error) {
-	return s.build(true, instrument)
+	return s.instantiate(true, instrument)
 }
 
-func (s *Session) build(optimize, instrument bool) (*vm.Machine, error) {
-	mod := ir.NewModule(s.spec.Name)
-	if err := s.spec.Build(mod); err != nil {
-		return nil, fmt.Errorf("mperf: building %s: %w", s.spec.Name, err)
-	}
+// ProgramKey returns the cache key of the session's build flavor.
+func (s *Session) ProgramKey(optimize, instrument bool) ProgramKey {
+	key := ProgramKey{Workload: s.spec.Name, Params: s.params.Fingerprint()}
 	if optimize {
-		profile, err := passes.ProfileByName(s.plat.VectorizerProfile)
-		if err != nil {
-			return nil, fmt.Errorf("mperf: %w", err)
-		}
-		if _, err := passes.RunPipeline(mod, passes.PipelineOptions{
-			Profile:    profile,
-			Lanes:      s.plat.Core.VectorLanes32,
-			Interleave: true,
-			Instrument: instrument,
-		}); err != nil {
-			return nil, fmt.Errorf("mperf: pipeline for %s: %w", s.spec.Name, err)
-		}
+		key.Profile = s.plat.VectorizerProfile
+		key.Lanes = s.plat.Core.VectorLanes32
+		key.Instrument = instrument
 	}
-	m, err := vm.New(s.plat, mod)
+	return key
+}
+
+// Program returns the session's compiled artifact for the given build
+// flavor, compiling it through the session's cache at most once per
+// plan key.
+func (s *Session) Program(optimize, instrument bool) (*vm.Program, error) {
+	prog, hit, err := s.cache.Get(s.ProgramKey(optimize, instrument), func() (*vm.Program, error) {
+		return s.spec.BuildProgram(s.plat, optimize, instrument)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("mperf: loading %s on %s: %w", s.spec.Name, s.plat.Name, err)
+		return nil, fmt.Errorf("mperf: %w", err)
 	}
-	if s.spec.Seed != nil {
-		if err := s.spec.Seed(m); err != nil {
-			return nil, fmt.Errorf("mperf: seeding %s: %w", s.spec.Name, err)
-		}
+	if hit {
+		s.hits.Add(1)
+	} else {
+		s.compiled.Add(1)
 	}
-	return m, nil
+	return prog, nil
+}
+
+func (s *Session) instantiate(optimize, instrument bool) (*vm.Machine, error) {
+	prog, err := s.Program(optimize, instrument)
+	if err != nil {
+		return nil, err
+	}
+	return vm.NewMachine(prog, s.plat), nil
 }
 
 // Run executes each collector over a coordinated execution of the
@@ -217,11 +264,16 @@ func (s *Session) Run(collectors ...Collector) (*Profile, error) {
 		Platform: platformInfo(s.plat),
 		Workload: s.spec.Name,
 	}
+	compiled0, hits0 := s.compiled.Load(), s.hits.Load()
 	for _, c := range collectors {
 		p.Collectors = append(p.Collectors, c.Name())
 		if err := c.Collect(s, p); err != nil {
 			p.Errors = append(p.Errors, CollectorError{Collector: c.Name(), Message: err.Error()})
 		}
+	}
+	p.CompileStats = &CompileStats{
+		Compiled:  s.compiled.Load() - compiled0,
+		CacheHits: s.hits.Load() - hits0,
 	}
 	return p, nil
 }

@@ -1,8 +1,11 @@
 #!/bin/sh
-# Regenerate BENCH_PR2.json: run the four headline benchmarks (one per
-# reproduced table/figure plus the memset roof input) and record ns/op,
-# the reproduced paper metrics, and the speedup/metric drift against
-# the recorded pre-PR2 baseline (scripts/baseline_pr2.json).
+# Regenerate BENCH_PR3.json: run the four headline benchmarks (one per
+# reproduced table/figure plus the memset roof input) together with the
+# PR3 program-cache trajectory benches (cold compile vs warm
+# instantiation vs warm matrix sweep) and record ns/op, the reproduced
+# paper metrics, and the speedup/metric drift against the recorded
+# pre-PR2 baseline (scripts/baseline_pr2.json; the cache benches are
+# new in PR3 and have no baseline entry).
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2x)
 set -eu
@@ -10,9 +13,10 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2x}"
 HEADLINE='BenchmarkTable2_SqliteHotspots|BenchmarkFigure3_FlameGraphs|BenchmarkFigure4_Roofline|BenchmarkMemsetBandwidth'
+CACHE='BenchmarkCompileProgram|BenchmarkInstantiate|BenchmarkMatrixWarm'
 
-go test -run '^$' -bench "$HEADLINE" -benchtime "$BENCHTIME" . |
+go test -run '^$' -bench "$HEADLINE|$CACHE" -benchtime "$BENCHTIME" . |
 	tee /dev/stderr |
-	go run ./cmd/benchjson -baseline scripts/baseline_pr2.json > BENCH_PR2.json
+	go run ./cmd/benchjson -baseline scripts/baseline_pr2.json > BENCH_PR3.json
 
-echo "wrote BENCH_PR2.json" >&2
+echo "wrote BENCH_PR3.json" >&2
