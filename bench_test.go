@@ -6,6 +6,9 @@
 package mperf_test
 
 import (
+	"context"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -20,6 +23,8 @@ import (
 	"mperf/internal/vm"
 	"mperf/internal/workloads"
 	"mperf/pkg/mperf"
+	"mperf/pkg/mperfd"
+	"mperf/pkg/mperfd/client"
 )
 
 func benchSqliteConfig() workloads.SqliteConfig {
@@ -431,6 +436,72 @@ func BenchmarkMatrixWarm(b *testing.B) {
 	}
 	b.ReportMetric(warm.HitRate(), "cache-hit-rate")
 	b.ReportMetric(float64(warm.CacheHits), "cache-hits")
+}
+
+// --- Daemon benches (PR 6) ---
+
+// BenchmarkDaemonConcurrentProfiles load-tests mperfd end to end: a
+// pool of 200 concurrent HTTP clients drives profile requests through
+// the daemon's bounded queue and worker pool against a pre-warmed
+// program cache. Reports serving throughput and the cache hit rate —
+// the two numbers that justify running miniperf as a service.
+func BenchmarkDaemonConcurrentProfiles(b *testing.B) {
+	cache := mperf.NewProgramCache()
+	srv := mperfd.New(mperfd.Config{Workers: 4, QueueDepth: 512, Cache: cache})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	platforms := []string{"x60", "i5"}
+	request := func(i int) mperfd.ProfileRequest {
+		return mperfd.ProfileRequest{
+			Platform:   platforms[i%len(platforms)],
+			Workload:   "dot",
+			Collectors: []string{"stat"},
+			Sizing:     mperfd.Sizing{Elems: 2048},
+		}
+	}
+	for i := range platforms { // warm wave pays the compiles
+		if _, err := c.Profile(context.Background(), request(i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	const clients = 200
+	b.ResetTimer()
+	start := time.Now()
+	work := make(chan int)
+	errc := make(chan error, clients)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if _, err := c.Profile(context.Background(), request(i), nil); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		b.Fatal(err)
+	default:
+	}
+	if st := srv.Stats(); st.Rejected != 0 {
+		b.Fatalf("queue rejected %d requests", st.Rejected)
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "profiles/s")
+	b.ReportMetric(cache.Stats().HitRate(), "cache-hit-rate")
 }
 
 // BenchmarkSqliteInterpreter is a plain end-to-end throughput bench of

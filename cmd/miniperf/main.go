@@ -29,10 +29,22 @@
 // Every verb accepts -json to emit the machine-readable Profile
 // instead of the rendered text, and -cpuprofile/-memprofile to profile
 // the profiler itself with pprof.
+//
+// # Daemon use
+//
+// When an mperfd daemon is reachable (MPERFD_ADDR, or the default
+// local address), the stat, topdown, profile and matrix verbs become
+// thin clients: the request runs on the daemon's warm program cache
+// and the served profile — bit-identical to the in-process result —
+// is rendered locally. -daemon off forces in-process execution;
+// -daemon HOST:PORT targets a specific daemon. The record and
+// roofline verbs always run in-process because their text renderings
+// need the raw recording and model objects, which do not travel over
+// the wire.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +57,8 @@ import (
 	"mperf/internal/report"
 	"mperf/internal/workloads"
 	"mperf/pkg/mperf"
+	"mperf/pkg/mperfd"
+	"mperf/pkg/mperfd/client"
 )
 
 // stopProfiles finalizes any active pprof outputs; it must run on
@@ -95,10 +109,10 @@ func startProfiles(cpuProfile, memProfile string) {
 	}
 }
 
+// emitJSON shares pkg/mperf's encoder path with the daemon, so a
+// served profile and an in-process one print byte-identically.
 func emitJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	if err := mperf.WriteJSON(os.Stdout, v); err != nil {
 		fail(err)
 	}
 }
@@ -136,6 +150,7 @@ func main() {
 	platforms := fs.String("platforms", "all", "matrix: comma-separated platforms, or all")
 	workloadList := fs.String("workloads", "all", "matrix: comma-separated workloads, or all")
 	parallel := fs.Int("parallel", 0, "matrix: worker pool size (0 = GOMAXPROCS)")
+	daemonMode := fs.String("daemon", "auto", "mperfd use: auto (use a daemon when one is up), off, or an explicit host:port")
 	asJSON := fs.Bool("json", false, "emit the profile as JSON instead of rendered text")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of miniperf itself here")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile of miniperf itself here")
@@ -170,12 +185,74 @@ func main() {
 		opts = append(opts, mperf.WithStatEvents(evs...))
 	}
 
+	// daemon resolves the mperfd client to use, or nil for in-process
+	// execution. "auto" probes quietly; an explicit address must work.
+	daemon := func() *client.Client {
+		switch *daemonMode {
+		case "", "auto":
+			return client.Detect()
+		case "off":
+			return nil
+		default:
+			c := client.New(*daemonMode)
+			if err := c.Ping(context.Background()); err != nil {
+				fail(fmt.Errorf("daemon %s unreachable: %w", *daemonMode, err))
+			}
+			return c
+		}
+	}
+
+	// sizing renders the shared flags as daemon request knobs.
+	sizing := mperfd.Sizing{
+		Events:       splitList(*events),
+		SampleFreqHz: *freq,
+		MatmulN:      *n,
+		MatmulTile:   *tile,
+		Elems:        *elems,
+	}
+
+	// profileRequest renders the shared flags as a daemon request.
+	profileRequest := func(collectors []string) mperfd.ProfileRequest {
+		return mperfd.ProfileRequest{
+			Platform:   *platName,
+			Workload:   *workload,
+			Collectors: collectors,
+			Sizing:     sizing,
+		}
+	}
+
+	// daemonProfile runs the request on a reachable daemon, falling
+	// back to in-process execution (nil) when none is up or the
+	// daemon fails mid-request.
+	daemonProfile := func(collectors []string) *mperf.Profile {
+		c := daemon()
+		if c == nil {
+			return nil
+		}
+		prof, err := c.Profile(context.Background(), profileRequest(collectors), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "miniperf: daemon %s failed (%v), running in-process\n", c.Addr(), err)
+			return nil
+		}
+		return prof
+	}
+
 	// runOne opens a session and runs one collector, failing the
-	// process on any error — the single-verb verbs share it.
+	// process on any error — the single-verb verbs share it. For the
+	// collectors whose rendering needs only serialized profile fields
+	// it transparently uses a running daemon.
 	runOne := func(collector string) (*mperf.Session, *mperf.Profile) {
 		sess, err := mperf.Open(*platName, *workload, opts...)
 		if err != nil {
 			fail(err)
+		}
+		if collector == "stat" || collector == "topdown" {
+			if prof := daemonProfile([]string{collector}); prof != nil {
+				if err := prof.Err(); err != nil {
+					fail(err)
+				}
+				return sess, prof
+			}
 		}
 		cs, err := mperf.Collectors(collector)
 		if err != nil {
@@ -278,17 +355,19 @@ func main() {
 		fmt.Printf("  → dominant: %s\n", td.Dominant)
 
 	case "profile":
-		sess, err := mperf.Open(*platName, *workload, opts...)
-		if err != nil {
-			fail(err)
-		}
-		cs, err := mperf.Collectors(collectorNames...)
-		if err != nil {
-			fail(err)
-		}
-		prof, err := sess.Run(cs...)
-		if err != nil {
-			fail(err)
+		prof := daemonProfile(collectorNames)
+		if prof == nil {
+			sess, err := mperf.Open(*platName, *workload, opts...)
+			if err != nil {
+				fail(err)
+			}
+			cs, err := mperf.Collectors(collectorNames...)
+			if err != nil {
+				fail(err)
+			}
+			if prof, err = sess.Run(cs...); err != nil {
+				fail(err)
+			}
 		}
 		emitJSON(prof) // the profile verb is JSON by design
 		if err := prof.Err(); err != nil {
@@ -296,23 +375,45 @@ func main() {
 		}
 
 	case "matrix":
-		res, err := mperf.RunMatrix(mperf.MatrixSpec{
-			Platforms:   splitList(*platforms),
-			Workloads:   splitList(*workloadList),
-			Collectors:  collectorNames,
-			Options:     opts,
-			Parallelism: *parallel,
-		})
-		if err != nil {
-			fail(err)
-		}
-		if *asJSON {
-			emitJSON(res)
-			return
+		var cells []mperf.MatrixCell
+		var cacheStats mperf.CacheStats
+		if c := daemon(); c != nil {
+			res, err := c.Matrix(context.Background(), mperfd.MatrixRequest{
+				Platforms:   splitList(*platforms),
+				Workloads:   splitList(*workloadList),
+				Collectors:  collectorNames,
+				Parallelism: *parallel,
+				Sizing:      sizing,
+			})
+			if err != nil {
+				fail(err)
+			}
+			if *asJSON {
+				emitJSON(res)
+				return
+			}
+			cells, cacheStats = res.Cells, res.Cache
+		} else {
+			res, err := mperf.RunMatrix(mperf.MatrixSpec{
+				Platforms:   splitList(*platforms),
+				Workloads:   splitList(*workloadList),
+				Collectors:  collectorNames,
+				Options:     opts,
+				Parallelism: *parallel,
+			})
+			if err != nil {
+				fail(err)
+			}
+			if *asJSON {
+				emitJSON(res)
+				return
+			}
+			// One source of truth for the summary line: the cache's own
+			// counters, the same numbers /v1/stats serves.
+			cells, cacheStats = res.Cells, mperf.DefaultProgramCache().Stats()
 		}
 		t := report.NewTable("Matrix sweep", "Platform", "Workload", "IPC", "Samples", "Status")
-		var compiles mperf.CompileStats
-		for _, cell := range res.Cells {
+		for _, cell := range cells {
 			ipc, samples, status := "-", "-", "ok"
 			switch {
 			case cell.Error != "":
@@ -323,15 +424,11 @@ func main() {
 				if err := cell.Profile.Err(); err != nil {
 					status = err.Error()
 				}
-				if cs := cell.Profile.CompileStats; cs != nil {
-					compiles.Compiled += cs.Compiled
-					compiles.CacheHits += cs.CacheHits
-				}
 			}
 			t.AddRowCells(cell.Platform, cell.Workload, ipc, samples, status)
 		}
 		fmt.Println(t.String())
-		fmt.Printf("programs: %s (hit rate %.0f%%)\n", compiles, 100*compiles.HitRate())
+		fmt.Printf("programs: %s (hit rate %.0f%%)\n", cacheStats, 100*cacheStats.HitRate())
 
 	default:
 		stopProfiles()

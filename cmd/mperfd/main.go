@@ -1,0 +1,122 @@
+// Command mperfd runs the resident profiling daemon: the pkg/mperf
+// stack (program cache, warm machine pools, collectors) behind a
+// long-running service, so repeated profile requests skip compilation
+// and share one process's warm state.
+//
+//	mperfd serve [-addr 127.0.0.1:7421] [-workers N] [-queue N]
+//	             [-addrfile PATH] [-stdio]
+//
+// serve listens on -addr with the HTTP JSON API (see pkg/mperfd for
+// the endpoints) and, with -stdio, additionally serves the
+// newline-delimited JSON transport on stdin/stdout — or only stdio
+// when -addr is empty. -addrfile writes the actually bound address
+// (useful with -addr :0) for scripts that need to find the daemon.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: listeners close, queued
+// and in-flight requests drain, then the process exits 0. A second
+// signal, or exceeding the drain timeout, aborts hard.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mperf/pkg/mperfd"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "mperfd: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		args = args[1:]
+	} else if len(args) > 0 && args[0][0] != '-' {
+		fmt.Fprintf(os.Stderr, "mperfd: unknown verb %q (usage: mperfd serve [flags])\n", args[0])
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7421", "HTTP listen address (empty = stdio only)")
+	workers := fs.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "bounded request queue depth")
+	addrFile := fs.String("addrfile", "", "write the bound HTTP address to this file")
+	stdio := fs.Bool("stdio", false, "also serve the NDJSON transport on stdin/stdout")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	fs.Parse(args)
+
+	if *addr == "" && !*stdio {
+		fail(errors.New("nothing to serve: -addr is empty and -stdio is off"))
+	}
+
+	srv := mperfd.New(mperfd.Config{Workers: *workers, QueueDepth: *queue})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 2)
+
+	var httpSrv *http.Server
+	if *addr != "" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fail(err)
+		}
+		bound := ln.Addr().String()
+		if *addrFile != "" {
+			if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mperfd: listening on %s (workers=%d queue=%d)\n",
+			bound, srv.Stats().Workers, srv.Stats().QueueCap)
+		httpSrv = &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				errc <- err
+			}
+		}()
+	}
+
+	if *stdio {
+		go func() {
+			err := srv.ServeStdio(ctx, os.Stdin, os.Stdout)
+			if err == nil {
+				// stdin EOF: the controlling client is done with us.
+				stop()
+			}
+			errc <- err
+		}()
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	// Graceful drain: stop accepting, finish what's queued, then exit.
+	fmt.Fprintln(os.Stderr, "mperfd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if httpSrv != nil {
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "mperfd: http shutdown: %v\n", err)
+		}
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "mperfd: drained, bye")
+}

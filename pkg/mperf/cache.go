@@ -35,6 +35,22 @@ type CompileStats struct {
 	CacheHits uint64 `json:"cache_hits"`
 }
 
+// CacheStats is a ProgramCache's cumulative view of itself: the
+// compile/hit counters plus the number of resident programs. It is
+// the one source of truth behind the daemon's /v1/stats endpoint and
+// the matrix verb's cache summary — per-profile CompileStats report a
+// run's delta, CacheStats the cache's life-to-date totals.
+type CacheStats struct {
+	CompileStats
+	// Size is the number of cached programs, counting in-flight builds.
+	Size int `json:"size"`
+}
+
+// String renders the counters for log lines.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%s, %d resident", s.CompileStats, s.Size)
+}
+
 // HitRate returns hits / (hits + compiles), 0 when nothing ran.
 func (s CompileStats) HitRate() float64 {
 	total := s.Compiled + s.CacheHits
@@ -105,11 +121,11 @@ func (c *ProgramCache) Get(key ProgramKey, build func() (*vm.Program, error)) (p
 	return e.prog, false, e.err
 }
 
-// Stats returns the cache's cumulative compile/hit counters.
-func (c *ProgramCache) Stats() CompileStats {
+// Stats returns the cache's cumulative compile/hit/size counters.
+func (c *ProgramCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	return CacheStats{CompileStats: c.stats, Size: len(c.entries)}
 }
 
 // Len returns the number of cached programs (including in-flight

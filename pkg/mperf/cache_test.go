@@ -71,8 +71,11 @@ func TestMatrixCompilesEachProgramOnce(t *testing.T) {
 	if got := sum.Compiled + sum.CacheHits; got != uint64(cells) {
 		t.Errorf("compiles+hits = %d, want one program get per cell (%d)", got, cells)
 	}
-	if st := cache.Stats(); st != sum {
+	if st := cache.Stats(); st.CompileStats != sum {
 		t.Errorf("cache stats %+v disagree with per-cell sum %+v", st, sum)
+	}
+	if st := cache.Stats(); st.Size != cache.Len() {
+		t.Errorf("cache stats size %d disagrees with Len %d", st.Size, cache.Len())
 	}
 	if st := cache.Stats(); st.HitRate() <= 0 {
 		t.Errorf("hit rate = %v, want > 0", st.HitRate())

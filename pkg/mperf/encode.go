@@ -1,0 +1,26 @@
+package mperf
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON is the one encoder path for every human-facing JSON the
+// tooling emits: `miniperf -json`, the daemon's non-streaming
+// responses, and the client's rendering of a served Profile all go
+// through it, so a profile serialized by the daemon is byte-identical
+// to the same profile serialized in-process.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteJSONLine encodes v compactly followed by a newline — the frame
+// encoding shared by the daemon's NDJSON HTTP streams and the stdio
+// transport. It uses the same encoding/json marshaling as WriteJSON
+// (only the whitespace differs), so streamed partial profiles and the
+// final indented profile never disagree on content.
+func WriteJSONLine(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,43 @@
+package mperf
+
+import (
+	"mperf/internal/platform"
+	"mperf/internal/workloads"
+)
+
+// WorkloadInfo is one workload registry entry in serializable form —
+// what the daemon's /v1/workloads endpoint and `miniperf workloads`
+// both list.
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Entry       string `json:"entry"`
+	Description string `json:"description"`
+}
+
+// WorkloadInfos lists the registered workloads with their
+// default-parameter descriptions, sorted by name.
+func WorkloadInfos() ([]WorkloadInfo, error) {
+	var out []WorkloadInfo
+	for _, name := range workloads.Names() {
+		spec, err := workloads.Lookup(name, workloads.Params{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WorkloadInfo{Name: spec.Name, Entry: spec.Entry, Description: spec.Description})
+	}
+	return out, nil
+}
+
+// PlatformInfos lists the registered platforms in the same
+// serializable form Profile embeds, sorted by registry name.
+func PlatformInfos() ([]PlatformInfo, error) {
+	var out []PlatformInfo
+	for _, name := range platform.Names() {
+		p, err := platform.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, platformInfo(p))
+	}
+	return out, nil
+}

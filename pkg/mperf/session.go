@@ -258,12 +258,9 @@ func (s *Session) instantiate(optimize, instrument bool) (*vm.Machine, error) {
 // errors only on misuse (no collectors).
 func (s *Session) Run(collectors ...Collector) (*Profile, error) {
 	if len(collectors) == 0 {
-		return nil, fmt.Errorf("mperf: Run needs at least one collector")
+		return nil, errNoCollectors()
 	}
-	p := &Profile{
-		Platform: platformInfo(s.plat),
-		Workload: s.spec.Name,
-	}
+	p := s.NewProfile()
 	compiled0, hits0 := s.compiled.Load(), s.hits.Load()
 	for _, c := range collectors {
 		p.Collectors = append(p.Collectors, c.Name())

@@ -1,0 +1,183 @@
+package mperf
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// CollectorResult is one collector's completed slice of a profile,
+// emitted by RunStream as soon as that collector finishes. Seq is the
+// completion order (0-based); Partial carries only the fields this
+// collector populated (plus the profile header), so a streaming
+// consumer can render sections incrementally without waiting for the
+// slowest collector.
+type CollectorResult struct {
+	Collector string   `json:"collector"`
+	Seq       int      `json:"seq"`
+	Partial   *Profile `json:"partial,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// NewProfile returns an empty profile carrying the session's platform
+// and workload header — the shell RunStream partials and merged
+// results are built in. Exported for transports that assemble
+// profiles outside Session.Run.
+func (s *Session) NewProfile() *Profile {
+	return &Profile{
+		Platform: platformInfo(s.plat),
+		Workload: s.spec.Name,
+	}
+}
+
+// RunStream is Run with streaming: collectors execute concurrently
+// (each on its own machine instantiated from the shared cached
+// program, so a slow collector never blocks a fast one), sink is
+// invoked in completion order with each collector's partial result,
+// and the partials are then merged in declared order into one Profile
+// whose JSON encoding is bit-identical to what sequential Run
+// produces for the same session — merge order, the stat-over-record
+// IPC precedence, error ordering and CompileStats accounting all
+// replicate Run's sequential semantics. This is the request path of
+// the mperfd daemon; Run remains the simple in-process path.
+//
+// A nil sink just disables streaming. If ctx is cancelled, collectors
+// that have not started are skipped (recorded as collector errors),
+// running collectors are waited for — simulation is not interruptible
+// mid-run, and waiting guarantees their machines are Released back to
+// the program pool before RunStream returns — and the context error
+// is returned alongside the partial profile.
+func (s *Session) RunStream(ctx context.Context, sink func(CollectorResult), collectors ...Collector) (*Profile, error) {
+	if len(collectors) == 0 {
+		return nil, errNoCollectors()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	compiled0, hits0 := s.compiled.Load(), s.hits.Load()
+
+	partials := make([]*Profile, len(collectors))
+	errs := make([]error, len(collectors))
+
+	var (
+		emitMu sync.Mutex
+		seq    int
+		wg     sync.WaitGroup
+	)
+	emit := func(i int) {
+		if sink == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if ctx.Err() != nil {
+			return // the consumer is gone; stop streaming
+		}
+		res := CollectorResult{Collector: collectors[i].Name(), Seq: seq, Partial: partials[i]}
+		if errs[i] != nil {
+			res.Error = errs[i].Error()
+		}
+		seq++
+		sink(res)
+	}
+	for i, c := range collectors {
+		wg.Add(1)
+		go func(i int, c Collector) {
+			defer wg.Done()
+			partials[i] = s.NewProfile()
+			partials[i].Collectors = []string{c.Name()}
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+			} else {
+				errs[i] = c.Collect(s, partials[i])
+			}
+			emit(i)
+		}(i, c)
+	}
+	wg.Wait()
+
+	final := s.NewProfile()
+	for i, c := range collectors {
+		final.Collectors = append(final.Collectors, c.Name())
+		mergeSection(final, c.Name(), partials[i])
+		if errs[i] != nil {
+			final.Errors = append(final.Errors, CollectorError{Collector: c.Name(), Message: errs[i].Error()})
+		}
+	}
+	final.CompileStats = &CompileStats{
+		Compiled:  s.compiled.Load() - compiled0,
+		CacheHits: s.hits.Load() - hits0,
+	}
+	return final, ctx.Err()
+}
+
+// errNoCollectors is the shared misuse error of Run and RunStream.
+func errNoCollectors() error {
+	return fmt.Errorf("mperf: Run needs at least one collector")
+}
+
+// mergeSection folds one collector's partial profile into dst,
+// replicating the write each built-in collector performs against a
+// sequentially-shared profile. The record collector only claims the
+// profile-level IPC when no earlier section set it — exactly its
+// `if p.IPC == 0` behaviour under sequential Run — while stat always
+// wins. Unknown (externally registered) collectors get the generic
+// copy-non-zero-sections rule.
+func mergeSection(dst *Profile, name string, src *Profile) {
+	if src == nil {
+		return
+	}
+	switch name {
+	case "stat":
+		if src.Events != nil {
+			dst.Events = src.Events
+			dst.ElapsedSeconds = src.ElapsedSeconds
+			dst.IPC = src.IPC
+		}
+	case "record":
+		mergeRecord(dst, src)
+	case "roofline":
+		if src.Roofline != nil {
+			dst.Roofline = src.Roofline
+		}
+	case "topdown":
+		if src.TopDown != nil {
+			dst.TopDown = src.TopDown
+		}
+	default:
+		mergeGeneric(dst, src)
+	}
+}
+
+func mergeRecord(dst, src *Profile) {
+	if src.Recording == nil && src.SampleCount == 0 {
+		return // the collector failed before recording anything
+	}
+	dst.Recording = src.Recording
+	dst.SampleCount = src.SampleCount
+	dst.LostSamples = src.LostSamples
+	dst.SamplingLeader = src.SamplingLeader
+	dst.Hotspots = src.Hotspots
+	if dst.IPC == 0 {
+		dst.IPC = src.IPC
+	}
+}
+
+// mergeGeneric copies every collector-owned section src populated,
+// leaving profile-header and bookkeeping fields to RunStream itself.
+func mergeGeneric(dst, src *Profile) {
+	if src.Events != nil {
+		dst.Events = src.Events
+		dst.ElapsedSeconds = src.ElapsedSeconds
+	}
+	mergeRecord(dst, src)
+	if src.Roofline != nil {
+		dst.Roofline = src.Roofline
+	}
+	if src.TopDown != nil {
+		dst.TopDown = src.TopDown
+	}
+	if dst.IPC == 0 && src.IPC != 0 {
+		dst.IPC = src.IPC
+	}
+}

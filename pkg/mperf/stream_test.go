@@ -1,0 +1,144 @@
+package mperf_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"mperf/pkg/mperf"
+)
+
+// streamOpts sizes the workloads down so the whole catalog streams
+// quickly, with a private cache per call site.
+func streamOpts(cache *mperf.ProgramCache) []mperf.Option {
+	return []mperf.Option{
+		mperf.WithProgramCache(cache),
+		mperf.WithElems(2048),
+		mperf.WithMatmulSize(32, 8),
+		mperf.WithMemsetWords(1 << 12),
+	}
+}
+
+// TestRunStreamMatchesRun pins the daemon's core invariant: the
+// merged profile RunStream assembles from concurrently executed
+// collectors is byte-identical (JSON) to what sequential Run produces
+// — including CompileStats, since the singleflight cache collapses
+// the concurrent compiles exactly like the sequential path.
+func TestRunStreamMatchesRun(t *testing.T) {
+	for _, platName := range []string{"x60", "i5", "u74"} {
+		for _, wl := range []string{"dot", "matmul", "sqlite"} {
+			collectors := []string{"stat", "record", "topdown"}
+
+			run := func(stream bool) []byte {
+				sess, err := mperf.Open(platName, wl, streamOpts(mperf.NewProgramCache())...)
+				if err != nil {
+					t.Fatalf("%s × %s: %v", platName, wl, err)
+				}
+				var prof *mperf.Profile
+				if stream {
+					prof, err = sess.RunStream(context.Background(), nil, mperf.MustCollectors(collectors...)...)
+				} else {
+					prof, err = sess.Run(mperf.MustCollectors(collectors...)...)
+				}
+				if err != nil {
+					t.Fatalf("%s × %s: %v", platName, wl, err)
+				}
+				data, err := json.Marshal(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return data
+			}
+
+			sequential := run(false)
+			streamed := run(true)
+			if !bytes.Equal(sequential, streamed) {
+				t.Errorf("%s × %s: streamed profile diverged from sequential Run:\nseq:    %s\nstream: %s",
+					platName, wl, sequential, streamed)
+			}
+		}
+	}
+}
+
+// TestRunStreamCompletionOrder checks the streaming contract: one
+// result per collector, contiguous Seq in emission order, partials
+// carrying that collector's section.
+func TestRunStreamCompletionOrder(t *testing.T) {
+	sess, err := mperf.Open("x60", "dot", streamOpts(mperf.NewProgramCache())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var results []mperf.CollectorResult
+	prof, err := sess.RunStream(context.Background(), func(res mperf.CollectorResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		results = append(results, res)
+	}, mperf.MustCollectors("stat", "topdown", "record")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d streamed results, want 3", len(results))
+	}
+	seen := map[string]bool{}
+	for i, res := range results {
+		if res.Seq != i {
+			t.Errorf("result %d has seq %d (sink must observe completion order)", i, res.Seq)
+		}
+		if res.Error != "" {
+			t.Errorf("collector %s failed: %s", res.Collector, res.Error)
+		}
+		if res.Partial == nil {
+			t.Fatalf("collector %s streamed no partial", res.Collector)
+		}
+		seen[res.Collector] = true
+		switch res.Collector {
+		case "stat":
+			if res.Partial.Events == nil {
+				t.Error("stat partial has no events")
+			}
+		case "topdown":
+			if res.Partial.TopDown == nil {
+				t.Error("topdown partial has no breakdown")
+			}
+		case "record":
+			// A tiny workload can legitimately yield zero samples at
+			// the default frequency; the leader label marks success.
+			if res.Partial.SamplingLeader == "" {
+				t.Error("record partial has no sampling leader")
+			}
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("streamed collectors %v, want all three", seen)
+	}
+	if prof.Events == nil || prof.TopDown == nil || prof.SamplingLeader == "" {
+		t.Error("merged profile is missing sections")
+	}
+}
+
+// TestRunStreamCancelled: a dead context skips unstarted collectors,
+// reports them as collector errors, and surfaces the context error.
+func TestRunStreamCancelled(t *testing.T) {
+	sess, err := mperf.Open("x60", "dot", streamOpts(mperf.NewProgramCache())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var streamed int
+	prof, err := sess.RunStream(ctx, func(mperf.CollectorResult) { streamed++ },
+		mperf.MustCollectors("stat", "topdown")...)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if streamed != 0 {
+		t.Errorf("%d results streamed after cancellation, want 0", streamed)
+	}
+	if len(prof.Errors) != 2 {
+		t.Errorf("profile records %d errors, want 2 (both collectors skipped): %v", len(prof.Errors), prof.Errors)
+	}
+}

@@ -1,0 +1,266 @@
+// Package client is the thin HTTP client of the mperfd daemon. It
+// speaks the wire types of pkg/mperfd and consumes /v1/profile's
+// NDJSON stream, so a caller gets each collector's partial result as
+// the daemon flushes it plus the final merged profile.
+//
+// Detect implements the CLI's daemon discovery: MPERFD_ADDR if set,
+// otherwise the default local address, probed with a short timeout so
+// `miniperf` falls back to in-process execution instantly when no
+// daemon is running.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mperf/pkg/mperf"
+	"mperf/pkg/mperfd"
+)
+
+// DefaultAddr is where a locally started daemon listens unless told
+// otherwise, and where Detect probes when MPERFD_ADDR is unset.
+const DefaultAddr = "127.0.0.1:7421"
+
+// AddrEnv is the environment variable naming the daemon address.
+const AddrEnv = "MPERFD_ADDR"
+
+// ErrBusy reports daemon backpressure (HTTP 429): the bounded request
+// queue is full and the request should be retried after a backoff.
+var ErrBusy = fmt.Errorf("mperfd: daemon busy (queue full)")
+
+// Client talks to one daemon.
+type Client struct {
+	base string // "http://host:port"
+	http *http.Client
+	// SessionID, when set, binds every request to a daemon session.
+	SessionID string
+}
+
+// New returns a client for the daemon at addr (host:port, or a full
+// http:// base URL).
+func New(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// Addr returns the daemon base URL the client targets.
+func (c *Client) Addr() string { return c.base }
+
+// EnvAddr resolves the daemon address from MPERFD_ADDR, falling back
+// to DefaultAddr.
+func EnvAddr() string {
+	if addr := os.Getenv(AddrEnv); addr != "" {
+		return addr
+	}
+	return DefaultAddr
+}
+
+// Detect probes for a running daemon at EnvAddr and returns a client
+// for it, or nil when none responds within the (short) probe timeout.
+// This is the auto-discovery `miniperf` runs before every daemon-able
+// verb.
+func Detect() *Client {
+	c := New(EnvAddr())
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		return nil
+	}
+	return c
+}
+
+// Ping checks daemon liveness via /healthz.
+func (c *Client) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("mperfd: health check: %s", resp.Status)
+	}
+	return nil
+}
+
+// do issues one request with the session header applied.
+func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.SessionID != "" {
+		req.Header.Set(mperfd.SessionHeader, c.SessionID)
+	}
+	return c.http.Do(req)
+}
+
+// decodeError turns a non-2xx response into an error.
+func decodeError(resp *http.Response) error {
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return ErrBusy
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Error != "" {
+		return fmt.Errorf("mperfd: %s", body.Error)
+	}
+	return fmt.Errorf("mperfd: daemon returned %s", resp.Status)
+}
+
+// Profile sends one profile request and consumes the NDJSON stream.
+// onFrame (optional) sees every frame as it arrives — partial
+// collector results in completion order, then the terminal frame.
+// The returned profile is the daemon's merged result.
+func (c *Client) Profile(ctx context.Context, req mperfd.ProfileRequest, onFrame func(mperfd.Frame)) (*mperf.Profile, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/profile", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var prof *mperf.Profile
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var f mperfd.Frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return nil, fmt.Errorf("mperfd: bad stream frame: %w", err)
+		}
+		if onFrame != nil {
+			onFrame(f)
+		}
+		switch f.Type {
+		case "profile":
+			prof = f.Profile
+		case "error":
+			if f.Busy {
+				return nil, ErrBusy
+			}
+			return nil, fmt.Errorf("mperfd: %s", f.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if prof == nil {
+		return nil, fmt.Errorf("mperfd: stream ended without a terminal profile frame")
+	}
+	return prof, nil
+}
+
+// Matrix runs a sweep on the daemon.
+func (c *Client) Matrix(ctx context.Context, req mperfd.MatrixRequest) (*mperfd.MatrixResponse, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/matrix", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out mperfd.MatrixResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Workloads lists the daemon's workload registry.
+func (c *Client) Workloads(ctx context.Context) ([]mperf.WorkloadInfo, error) {
+	var out []mperf.WorkloadInfo
+	return out, c.getJSON(ctx, "/v1/workloads", &out)
+}
+
+// Platforms lists the daemon's platform registry.
+func (c *Client) Platforms(ctx context.Context) ([]mperf.PlatformInfo, error) {
+	var out []mperf.PlatformInfo
+	return out, c.getJSON(ctx, "/v1/platforms", &out)
+}
+
+// Stats fetches the daemon's self-description.
+func (c *Client) Stats(ctx context.Context) (*mperfd.StatsResponse, error) {
+	var out mperfd.StatsResponse
+	return &out, c.getJSON(ctx, "/v1/stats", &out)
+}
+
+// OpenSession opens a named daemon session and binds the client to it.
+func (c *Client) OpenSession(ctx context.Context, name string) (string, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/sessions", map[string]string{"name": name})
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	var body struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", err
+	}
+	c.SessionID = body.ID
+	return body.ID, nil
+}
+
+// CloseSession closes the client's bound session (if any), cancelling
+// its in-flight requests on the daemon.
+func (c *Client) CloseSession(ctx context.Context) error {
+	if c.SessionID == "" {
+		return nil
+	}
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/sessions/"+c.SessionID, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	c.SessionID = ""
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

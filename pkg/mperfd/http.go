@@ -1,0 +1,180 @@
+package mperfd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mperf/pkg/mperf"
+)
+
+// SessionHeader is the optional HTTP request header binding a request
+// to a previously opened client session (POST /v1/sessions). Requests
+// without it run in an ephemeral per-request session.
+const SessionHeader = "Mperfd-Session"
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /healthz        liveness probe ("ok")
+//	GET  /v1/workloads   registered workloads
+//	GET  /v1/platforms   registered platforms
+//	GET  /v1/stats       daemon + program-cache counters
+//	POST /v1/sessions    open a client session → {"id": ...}
+//	DELETE /v1/sessions/{id}  close it (cancels in-flight requests)
+//	POST /v1/profile     profile request → NDJSON Frame stream
+//	POST /v1/matrix      matrix sweep → MatrixResponse
+//
+// /v1/profile streams: one type="collector" Frame per collector in
+// completion order, then a terminal type="profile" Frame whose
+// profile is bit-identical to the equivalent in-process run. A full
+// queue is 429 with Retry-After; a draining server is 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		infos, err := mperf.WorkloadInfos()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, infos)
+	})
+	mux.HandleFunc("GET /v1/platforms", func(w http.ResponseWriter, r *http.Request) {
+		infos, err := mperf.PlatformInfos()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, infos)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Name string `json:"name"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&body) // empty body = unnamed session
+		cs := s.OpenSession(body.Name)
+		writeJSON(w, map[string]string{"id": cs.ID()})
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.CloseSession(r.PathValue("id"))
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	return mux
+}
+
+// requestSession resolves the request's client session: the
+// SessionHeader if present (404s on unknown IDs), otherwise an
+// ephemeral session closed when the request finishes.
+func (s *Server) requestSession(w http.ResponseWriter, r *http.Request) (*ClientSession, func(), bool) {
+	if id := r.Header.Get(SessionHeader); id != "" {
+		cs, ok := s.Session(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("mperfd: unknown session %q", id))
+			return nil, nil, false
+		}
+		return cs, func() {}, true
+	}
+	cs := s.OpenSession("")
+	return cs, func() { s.CloseSession(cs.ID()) }, true
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req ProfileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("mperfd: decoding profile request: %w", err))
+		return
+	}
+	// Validate before streaming starts so name typos and bad sizing
+	// are still clean 4xx responses.
+	if _, _, err := req.open(s.cache); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cs, release, ok := s.requestSession(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	writeFrame := func(f Frame) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		// A write error means the client is gone; its context will
+		// cancel the request, so dropping the frame is fine.
+		_ = mperf.WriteJSONLine(w, f)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	prof, err := s.Profile(r.Context(), cs, req, func(res mperf.CollectorResult) {
+		writeFrame(Frame{Type: "collector", Result: &res})
+	})
+	switch {
+	case err == ErrQueueFull:
+		// Nothing streamed yet (the queue rejected synchronously), so
+		// the status code is still ours to set.
+		w.Header().Del("Content-Type")
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+	case err == ErrDraining:
+		w.Header().Del("Content-Type")
+		httpError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeFrame(Frame{Type: "error", Error: err.Error()})
+	default:
+		writeFrame(Frame{Type: "profile", Profile: prof})
+	}
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	var req MatrixRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("mperfd: decoding matrix request: %w", err))
+		return
+	}
+	if err := req.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cs, release, ok := s.requestSession(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	res, err := s.Matrix(r.Context(), cs, req)
+	switch {
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+	case err == ErrDraining:
+		httpError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, res)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = mperf.WriteJSON(w, v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = mperf.WriteJSONLine(w, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,134 @@
+package mperfd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"mperf/pkg/mperf"
+	"mperf/pkg/mperfd"
+)
+
+// TestDaemonConcurrentLoad is the PR's acceptance load test: 200
+// concurrent HTTP profile requests against a daemon with a bounded
+// queue. Every request must be admitted (the queue is sized for the
+// wave, so zero rejects), every served profile must be bit-identical
+// to the in-process run of the same request, the warm cache must
+// serve >90% hits, and the server must settle back to idle with no
+// goroutine growth.
+func TestDaemonConcurrentLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	const concurrent = 200
+
+	cache := mperf.NewProgramCache()
+	srv := newTestServer(t, mperfd.Config{Workers: 4, QueueDepth: 256, Cache: cache})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	platforms := []string{"x60", "i5"}
+	request := func(plat string) mperfd.ProfileRequest {
+		return mperfd.ProfileRequest{
+			Platform:   plat,
+			Workload:   "dot",
+			Collectors: []string{"stat"},
+			Sizing:     mperfd.Sizing{Elems: 2048},
+		}
+	}
+
+	// References: the same requests run in-process on private caches.
+	want := map[string][]byte{}
+	for _, plat := range platforms {
+		want[plat] = inProcessProfile(t, request(plat))
+	}
+
+	post := func(plat string) (*mperf.Profile, error) {
+		body, _ := json.Marshal(request(plat))
+		resp, err := http.Post(ts.URL+"/v1/profile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %s", resp.Status)
+		}
+		var terminal *mperfd.Frame
+		for _, f := range readFrames(t, resp.Body) {
+			switch f.Type {
+			case "profile", "error":
+				f := f
+				terminal = &f
+			}
+		}
+		if terminal == nil {
+			return nil, fmt.Errorf("stream had no terminal frame")
+		}
+		if terminal.Type == "error" {
+			return nil, fmt.Errorf("daemon error: %s", terminal.Error)
+		}
+		return terminal.Profile, nil
+	}
+
+	// Warm wave: one request per platform pays the compiles.
+	for _, plat := range platforms {
+		if _, err := post(plat); err != nil {
+			t.Fatalf("warm %s: %v", plat, err)
+		}
+	}
+	warm := cache.Stats()
+	baseline := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		plat := platforms[i%len(platforms)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prof, err := post(plat)
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", plat, err)
+				return
+			}
+			if got := marshalNoCompileStats(t, prof); !bytes.Equal(got, want[plat]) {
+				errs <- fmt.Errorf("%s: served profile diverged from in-process run", plat)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.Stats()
+	if st.Rejected != 0 {
+		t.Errorf("queue rejected %d of %d requests despite capacity %d", st.Rejected, concurrent, 256)
+	}
+	if st.Served < concurrent {
+		t.Errorf("served %d requests, want >= %d", st.Served, concurrent)
+	}
+
+	// After the warm wave every request is a pure cache hit.
+	cs := cache.Stats()
+	if cs.Compiled != warm.Compiled {
+		t.Errorf("load wave compiled %d new programs, want 0", cs.Compiled-warm.Compiled)
+	}
+	if hr := cs.HitRate(); hr <= 0.9 {
+		t.Errorf("cache hit rate %.3f, want > 0.9 (%+v)", hr, cs)
+	}
+
+	// The server settles back to idle: no queued work, no active jobs,
+	// no ephemeral sessions, no goroutine growth.
+	waitFor(t, func() bool {
+		st := srv.Stats()
+		return st.Active == 0 && st.QueueDepth == 0 && st.SessionsOpen == 0
+	})
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+10 })
+}

@@ -1,0 +1,276 @@
+// Package mperfd is the resident profiling daemon over the pkg/mperf
+// stack: it keeps one process-lifetime ProgramCache and the warm
+// machine pools behind it resident, and serves concurrent profile
+// requests through a bounded queue and worker pool, streaming each
+// collector's section of the Profile as it finishes.
+//
+// The package is transport-agnostic at its core — Server carries the
+// sessions, queue, workers and cache — with two thin transports on
+// top: an HTTP JSON API (Server.Handler; /v1/profile streams NDJSON
+// Frames) and a newline-delimited JSON stdio transport
+// (Server.ServeStdio) sharing the same request handler. cmd/mperfd
+// wires both behind a `serve` verb; pkg/mperfd/client is the matching
+// thin client, which cmd/miniperf uses automatically when a daemon is
+// reachable.
+//
+// Concurrency model: requests enter a bounded queue (Enqueue returns
+// ErrQueueFull instead of growing without bound — HTTP maps it to
+// 429) and are drained by a fixed worker pool. Each request opens a
+// cheap mperf.Session against the server's shared ProgramCache, so
+// after the first wave of compiles every request is pure warm
+// instantiation; collectors inside one request run concurrently via
+// Session.RunStream and their machines are released back to the
+// program pools even when the client goes away mid-request.
+package mperfd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mperf/pkg/mperf"
+)
+
+// Errors the enqueue path returns; transports map them to their
+// protocol's backpressure signals (HTTP 429 / 503, stdio busy frames).
+var (
+	// ErrQueueFull reports that the bounded request queue is at
+	// capacity; the client should retry after a backoff.
+	ErrQueueFull = errors.New("mperfd: request queue full")
+	// ErrDraining reports that the server is shutting down and accepts
+	// no new requests.
+	ErrDraining = errors.New("mperfd: server draining")
+)
+
+// Config sizes a Server. Zero values mean defaults.
+type Config struct {
+	// Workers is the number of request workers (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the request queue (default 64). A full queue
+	// rejects with ErrQueueFull rather than growing.
+	QueueDepth int
+	// Cache is the program cache requests compile through (default
+	// mperf.DefaultProgramCache, shared with in-process callers).
+	Cache *mperf.ProgramCache
+}
+
+// Server is the daemon core: client sessions, the bounded request
+// queue, the worker pool, and the resident program cache.
+type Server struct {
+	workers  int
+	queueCap int
+	cache    *mperf.ProgramCache
+	queue    chan *job
+	start    time.Time
+
+	mu       sync.Mutex
+	draining bool
+	sessions map[string]*ClientSession
+	nextID   uint64
+
+	wg            sync.WaitGroup
+	active        atomic.Int64
+	served        atomic.Uint64
+	rejected      atomic.Uint64
+	sessionsTotal atomic.Uint64
+}
+
+// job is one queued request; exactly one of profile/matrix is set.
+type job struct {
+	ctx     context.Context
+	sess    *ClientSession
+	profile *ProfileRequest
+	psess   *mperf.Session    // pre-validated session for profile jobs
+	pcols   []mperf.Collector // pre-resolved collectors
+	matrix  *MatrixRequest
+	sink    func(mperf.CollectorResult)
+	done    chan jobResult
+}
+
+type jobResult struct {
+	profile *mperf.Profile
+	matrix  *MatrixResponse
+	err     error
+}
+
+// New builds a Server and starts its worker pool. Callers must
+// Shutdown it to stop the workers.
+func New(cfg Config) *Server {
+	s := &Server{
+		workers:  cfg.Workers,
+		queueCap: cfg.QueueDepth,
+		cache:    cfg.Cache,
+		start:    time.Now(),
+		sessions: make(map[string]*ClientSession),
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if s.queueCap <= 0 {
+		s.queueCap = 64
+	}
+	if s.cache == nil {
+		s.cache = mperf.DefaultProgramCache()
+	}
+	s.queue = make(chan *job, s.queueCap)
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Cache returns the program cache the server compiles through.
+func (s *Server) Cache() *mperf.ProgramCache { return s.cache }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.active.Add(1)
+		j.done <- s.run(j)
+		s.active.Add(-1)
+		s.served.Add(1)
+	}
+}
+
+// run executes one dequeued job. A request whose context died while
+// queued is skipped without touching any machine.
+func (s *Server) run(j *job) jobResult {
+	if err := j.ctx.Err(); err != nil {
+		return jobResult{err: err}
+	}
+	if j.profile != nil {
+		prof, err := j.psess.RunStream(j.ctx, j.sink, j.pcols...)
+		return jobResult{profile: prof, err: err}
+	}
+	res, err := mperf.RunMatrix(mperf.MatrixSpec{
+		Platforms:   j.matrix.Platforms,
+		Workloads:   j.matrix.Workloads,
+		Collectors:  j.matrix.Collectors,
+		Options:     append(j.matrix.Options(), mperf.WithProgramCache(s.cache)),
+		Parallelism: j.matrix.Parallelism,
+	})
+	if err != nil {
+		return jobResult{err: err}
+	}
+	return jobResult{matrix: &MatrixResponse{Cells: res.Cells, Cache: s.cache.Stats()}}
+}
+
+// enqueue admits a job or reports backpressure. It never blocks: a
+// full queue is the client's problem (retry after backoff), not a
+// reason to grow server state.
+func (s *Server) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		s.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// submit queues the job and waits for its result or the caller's
+// context. On cancellation the job itself is left to the worker —
+// run() skips it if it never started, and RunStream drains a started
+// job's machines back to their pools.
+func (s *Server) submit(ctx context.Context, j *job) (jobResult, error) {
+	if err := s.enqueue(j); err != nil {
+		return jobResult{}, err
+	}
+	select {
+	case res := <-j.done:
+		return res, res.err
+	case <-ctx.Done():
+		return jobResult{}, ctx.Err()
+	}
+}
+
+// Profile runs one profile request through the queue. sink (optional)
+// receives each collector's partial result in completion order, from
+// the worker goroutine. The returned profile is bit-identical to an
+// in-process Session.Run of the same request (modulo CompileStats,
+// which reflect this daemon's warm cache).
+func (s *Server) Profile(ctx context.Context, cs *ClientSession, req ProfileRequest, sink func(mperf.CollectorResult)) (*mperf.Profile, error) {
+	sess, cols, err := req.open(s.cache)
+	if err != nil {
+		return nil, err
+	}
+	ctx, finish := cs.begin(ctx)
+	defer finish()
+	j := &job{ctx: ctx, sess: cs, profile: &req, psess: sess, pcols: cols, sink: sink, done: make(chan jobResult, 1)}
+	res, err := s.submit(ctx, j)
+	return res.profile, err
+}
+
+// Matrix runs a sweep through the queue as a single job, bounded by
+// the sweep's own worker pool.
+func (s *Server) Matrix(ctx context.Context, cs *ClientSession, req MatrixRequest) (*MatrixResponse, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	ctx, finish := cs.begin(ctx)
+	defer finish()
+	j := &job{ctx: ctx, sess: cs, matrix: &req, done: make(chan jobResult, 1)}
+	res, err := s.submit(ctx, j)
+	return res.matrix, err
+}
+
+// Stats snapshots the daemon's state for /v1/stats and the stats
+// method. The cache counters come straight from ProgramCache.Stats —
+// the same source of truth the matrix verb reports.
+func (s *Server) Stats() StatsResponse {
+	s.mu.Lock()
+	open := len(s.sessions)
+	s.mu.Unlock()
+	return StatsResponse{
+		Workers:       s.workers,
+		QueueCap:      s.queueCap,
+		QueueDepth:    len(s.queue),
+		Active:        s.active.Load(),
+		Served:        s.served.Load(),
+		Rejected:      s.rejected.Load(),
+		SessionsOpen:  open,
+		SessionsTotal: s.sessionsTotal.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.cache.Stats(),
+	}
+}
+
+// Shutdown drains the server: no new requests are admitted, queued
+// and in-flight requests run to completion, then the workers exit. If
+// ctx expires first, every open client session is cancelled (which
+// unblocks their jobs' waiters) and the context error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, cs := range s.sessions {
+			cs.cancel()
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("mperfd: shutdown: %w", ctx.Err())
+	}
+}

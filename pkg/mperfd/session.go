@@ -1,0 +1,92 @@
+package mperfd
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ClientSession is one client's standing context in the daemon: a
+// stdio connection holds one for its lifetime, an HTTP client opts in
+// by sending the Mperfd-Session header, and header-less HTTP requests
+// get an ephemeral one per request. Closing a session cancels its
+// in-flight requests; the workers then drain those requests' machines
+// back to the program pools before the session counts as gone.
+type ClientSession struct {
+	id      string
+	name    string
+	created time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	requests atomic.Uint64
+	active   atomic.Int64
+}
+
+// ID returns the session's server-assigned identifier.
+func (cs *ClientSession) ID() string { return cs.id }
+
+// Name returns the client-chosen label (may be empty).
+func (cs *ClientSession) Name() string { return cs.name }
+
+// Requests returns how many requests the session has submitted.
+func (cs *ClientSession) Requests() uint64 { return cs.requests.Load() }
+
+// Active returns how many of the session's requests are in flight.
+func (cs *ClientSession) Active() int64 { return cs.active.Load() }
+
+// begin scopes one request to the session: the returned context is
+// cancelled when either the request's own context or the session dies,
+// and the returned finish releases the per-request bookkeeping.
+func (cs *ClientSession) begin(ctx context.Context) (context.Context, func()) {
+	cs.requests.Add(1)
+	cs.active.Add(1)
+	ctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(cs.ctx, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+		cs.active.Add(-1)
+	}
+}
+
+// OpenSession registers a new client session under an optional
+// client-chosen name.
+func (s *Server) OpenSession(name string) *ClientSession {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.nextID++
+	cs := &ClientSession{
+		id:      fmt.Sprintf("s%d", s.nextID),
+		name:    name,
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	s.sessions[cs.id] = cs
+	s.mu.Unlock()
+	s.sessionsTotal.Add(1)
+	return cs
+}
+
+// Session resolves a session by ID.
+func (s *Server) Session(id string) (*ClientSession, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.sessions[id]
+	return cs, ok
+}
+
+// CloseSession cancels a session's in-flight requests and removes it.
+// Unknown IDs are a no-op, so transports can close unconditionally.
+func (s *Server) CloseSession(id string) {
+	s.mu.Lock()
+	cs, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if ok {
+		cs.cancel()
+	}
+}

@@ -1,0 +1,125 @@
+package mperfd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"mperf/pkg/mperf"
+)
+
+// ServeStdio serves the newline-delimited JSON transport on one
+// reader/writer pair (canonically stdin/stdout of `mperfd serve
+// -stdio`). Framing:
+//
+//   - Each request is one line: a Request object with a client-chosen
+//     id, a method ("profile", "matrix", "workloads", "platforms",
+//     "stats", "ping"), and the matching payload field.
+//   - Each response frame is one line: a Frame echoing the request id.
+//     A profile request yields type="collector" frames in completion
+//     order followed by one terminal type="profile" frame; every other
+//     method yields exactly one terminal frame. type="error"
+//     terminates a failed request (Busy marks queue backpressure).
+//
+// Requests run concurrently — frames of different requests interleave,
+// which is why every frame carries the id. The connection is one
+// client session: when the reader reaches EOF (or ctx is cancelled)
+// the session closes, cancelling in-flight requests, and ServeStdio
+// returns once their workers have drained.
+func (s *Server) ServeStdio(ctx context.Context, r io.Reader, w io.Writer) error {
+	cs := s.OpenSession("stdio")
+	defer s.CloseSession(cs.ID())
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wmu sync.Mutex
+	writeFrame := func(f Frame) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = mperf.WriteJSONLine(w, f)
+	}
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if ctx.Err() != nil {
+			break
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			writeFrame(Frame{Type: "error", Error: fmt.Sprintf("mperfd: bad request line: %v", err)})
+			continue
+		}
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			s.serveRequest(ctx, cs, req, writeFrame)
+		}(req)
+	}
+	return sc.Err()
+}
+
+// serveRequest dispatches one stdio request and writes its frames.
+func (s *Server) serveRequest(ctx context.Context, cs *ClientSession, req Request, writeFrame func(Frame)) {
+	fail := func(err error) {
+		writeFrame(Frame{ID: req.ID, Type: "error", Error: err.Error(), Busy: err == ErrQueueFull})
+	}
+	switch req.Method {
+	case "ping":
+		writeFrame(Frame{ID: req.ID, Type: "pong"})
+	case "workloads":
+		infos, err := mperf.WorkloadInfos()
+		if err != nil {
+			fail(err)
+			return
+		}
+		writeFrame(Frame{ID: req.ID, Type: "workloads", Workloads: infos})
+	case "platforms":
+		infos, err := mperf.PlatformInfos()
+		if err != nil {
+			fail(err)
+			return
+		}
+		writeFrame(Frame{ID: req.ID, Type: "platforms", Platforms: infos})
+	case "stats":
+		st := s.Stats()
+		writeFrame(Frame{ID: req.ID, Type: "stats", Stats: &st})
+	case "profile":
+		if req.Profile == nil {
+			fail(fmt.Errorf("mperfd: profile method needs a profile payload"))
+			return
+		}
+		prof, err := s.Profile(ctx, cs, *req.Profile, func(res mperf.CollectorResult) {
+			writeFrame(Frame{ID: req.ID, Type: "collector", Result: &res})
+		})
+		if err != nil {
+			fail(err)
+			return
+		}
+		writeFrame(Frame{ID: req.ID, Type: "profile", Profile: prof})
+	case "matrix":
+		if req.Matrix == nil {
+			fail(fmt.Errorf("mperfd: matrix method needs a matrix payload"))
+			return
+		}
+		res, err := s.Matrix(ctx, cs, *req.Matrix)
+		if err != nil {
+			fail(err)
+			return
+		}
+		writeFrame(Frame{ID: req.ID, Type: "matrix", Matrix: res})
+	default:
+		fail(fmt.Errorf("mperfd: unknown method %q", req.Method))
+	}
+}

@@ -1,0 +1,187 @@
+package mperfd
+
+import (
+	"fmt"
+
+	"mperf/internal/platform"
+	"mperf/internal/workloads"
+	"mperf/pkg/mperf"
+)
+
+// Sizing carries the workload sizing and collector tuning knobs the
+// CLI exposes. It is embedded flat into both request types, so a curl
+// body says `"matmul_n": 64` whether it profiles one cell or sweeps a
+// matrix. Zero-valued fields mean the same defaults `miniperf` uses.
+type Sizing struct {
+	// Events selects the stat collector's event set by generalized
+	// name (default: the perf stat set).
+	Events []string `json:"events,omitempty"`
+	// SampleFreqHz is the record collector's -F (default 4000).
+	SampleFreqHz uint64 `json:"sample_freq_hz,omitempty"`
+	MatmulN      int    `json:"matmul_n,omitempty"`
+	MatmulTile   int    `json:"matmul_tile,omitempty"`
+	Elems        int    `json:"elems,omitempty"`
+	MemsetWords  int    `json:"memset_words,omitempty"`
+}
+
+// Options renders the sizing knobs as session options.
+func (r Sizing) Options() []mperf.Option {
+	var opts []mperf.Option
+	if r.MatmulN > 0 || r.MatmulTile > 0 {
+		n, tile := r.MatmulN, r.MatmulTile
+		if n == 0 {
+			n = 128
+		}
+		if tile == 0 {
+			tile = 32
+		}
+		opts = append(opts, mperf.WithMatmulSize(n, tile))
+	}
+	if r.Elems > 0 {
+		opts = append(opts, mperf.WithElems(r.Elems))
+	}
+	if r.MemsetWords > 0 {
+		opts = append(opts, mperf.WithMemsetWords(r.MemsetWords))
+	}
+	if r.SampleFreqHz > 0 {
+		opts = append(opts, mperf.WithSampleFreq(r.SampleFreqHz))
+	}
+	if len(r.Events) > 0 {
+		opts = append(opts, mperf.WithStatEvents(r.Events...))
+	}
+	return opts
+}
+
+// ProfileRequest is one profile request as it travels over either
+// transport: which platform × workload to profile, which collectors
+// to run, and the sizing knobs.
+type ProfileRequest struct {
+	Platform string `json:"platform"`
+	Workload string `json:"workload"`
+	// Collectors defaults to the full registry when empty.
+	Collectors []string `json:"collectors,omitempty"`
+	Sizing
+}
+
+// open validates the request against the registries and opens its
+// session against the serving cache — name typos and bad sizing
+// surface here, before the request occupies a queue slot.
+func (r ProfileRequest) open(cache *mperf.ProgramCache) (*mperf.Session, []mperf.Collector, error) {
+	if r.Platform == "" || r.Workload == "" {
+		return nil, nil, fmt.Errorf("mperfd: profile request needs platform and workload")
+	}
+	names := r.Collectors
+	if len(names) == 0 {
+		names = mperf.CollectorNames()
+	}
+	cs, err := mperf.Collectors(names...)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := r.Options()
+	if cache != nil {
+		opts = append(opts, mperf.WithProgramCache(cache))
+	}
+	sess, err := mperf.Open(r.Platform, r.Workload, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, cs, nil
+}
+
+// MatrixRequest sweeps platforms × workloads × collectors through the
+// daemon's shared program cache. Empty lists default to the full
+// registries, exactly like mperf.RunMatrix; the sizing knobs apply to
+// every cell.
+type MatrixRequest struct {
+	Platforms   []string `json:"platforms,omitempty"`
+	Workloads   []string `json:"workloads,omitempty"`
+	Collectors  []string `json:"collectors,omitempty"`
+	Parallelism int      `json:"parallelism,omitempty"`
+	Sizing
+}
+
+// validate resolves every requested name so a typo is a 400, not a
+// sweep of failed cells.
+func (r MatrixRequest) validate() error {
+	for _, p := range r.Platforms {
+		if _, err := platform.Lookup(p); err != nil {
+			return err
+		}
+	}
+	for _, w := range r.Workloads {
+		if _, err := workloads.Lookup(w, workloads.Params{}); err != nil {
+			return err
+		}
+	}
+	if len(r.Collectors) > 0 {
+		if _, err := mperf.Collectors(r.Collectors...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MatrixResponse is the daemon's matrix result: the cells plus the
+// serving cache's life-to-date counters (the one source of truth the
+// matrix verb and /v1/stats both read).
+type MatrixResponse struct {
+	Cells []mperf.MatrixCell `json:"cells"`
+	Cache mperf.CacheStats   `json:"cache"`
+}
+
+// StatsResponse is the daemon's self-description: pool and queue
+// shape, request accounting, open sessions, and the program cache's
+// counters straight from ProgramCache.Stats.
+type StatsResponse struct {
+	Workers       int              `json:"workers"`
+	QueueCap      int              `json:"queue_cap"`
+	QueueDepth    int              `json:"queue_depth"`
+	Active        int64            `json:"active"`
+	Served        uint64           `json:"served"`
+	Rejected      uint64           `json:"rejected"`
+	SessionsOpen  int              `json:"sessions_open"`
+	SessionsTotal uint64           `json:"sessions_total"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Cache         mperf.CacheStats `json:"cache"`
+}
+
+// Frame is one message of a streamed response, shared verbatim by the
+// HTTP NDJSON stream and the stdio transport: a sequence of
+// type="collector" frames in completion order, terminated by exactly
+// one type="profile" (the merged result) or type="error" frame. The
+// stdio transport additionally threads the request ID through every
+// frame; over HTTP the connection is the correlation.
+type Frame struct {
+	ID   string `json:"id,omitempty"`
+	Type string `json:"type"`
+
+	// type="collector": one collector finished.
+	Result *mperf.CollectorResult `json:"result,omitempty"`
+
+	// type="profile": the merged profile, bit-identical to an
+	// in-process Session.Run of the same request.
+	Profile *mperf.Profile `json:"profile,omitempty"`
+
+	// Terminal payloads of the non-streaming stdio methods.
+	Matrix    *MatrixResponse      `json:"matrix,omitempty"`
+	Workloads []mperf.WorkloadInfo `json:"workloads,omitempty"`
+	Platforms []mperf.PlatformInfo `json:"platforms,omitempty"`
+	Stats     *StatsResponse       `json:"stats,omitempty"`
+
+	// type="error": the request failed; Error explains why. Busy is
+	// set when the failure is queue backpressure (HTTP 429's stdio
+	// equivalent) — the client may retry after a backoff.
+	Error string `json:"error,omitempty"`
+	Busy  bool   `json:"busy,omitempty"`
+}
+
+// Request is one stdio-transport request line. Method selects the
+// operation; the matching payload field parameterizes it. The HTTP
+// transport carries the same payloads on per-method routes instead.
+type Request struct {
+	ID      string          `json:"id,omitempty"`
+	Method  string          `json:"method"`
+	Profile *ProfileRequest `json:"profile,omitempty"`
+	Matrix  *MatrixRequest  `json:"matrix,omitempty"`
+}
