@@ -151,6 +151,7 @@ func main() {
 	workloadList := fs.String("workloads", "all", "matrix: comma-separated workloads, or all")
 	parallel := fs.Int("parallel", 0, "matrix: worker pool size (0 = GOMAXPROCS)")
 	daemonMode := fs.String("daemon", "auto", "mperfd use: auto (use a daemon when one is up), off, or an explicit host:port")
+	requestTimeout := fs.Duration("request-timeout", 0, "daemon-side deadline for served requests (0 = daemon default)")
 	asJSON := fs.Bool("json", false, "emit the profile as JSON instead of rendered text")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of miniperf itself here")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile of miniperf itself here")
@@ -190,7 +191,7 @@ func main() {
 	daemon := func() *client.Client {
 		switch *daemonMode {
 		case "", "auto":
-			return client.Detect()
+			return client.DetectContext(context.Background())
 		case "off":
 			return nil
 		default:
@@ -217,22 +218,38 @@ func main() {
 			Platform:   *platName,
 			Workload:   *workload,
 			Collectors: collectors,
+			TimeoutMS:  requestTimeout.Milliseconds(),
 			Sizing:     sizing,
 		}
 	}
 
-	// daemonProfile runs the request on a reachable daemon, falling
-	// back to in-process execution (nil) when none is up or the
-	// daemon fails mid-request.
-	daemonProfile := func(collectors []string) *mperf.Profile {
-		c := daemon()
-		if c == nil {
-			return nil
-		}
-		prof, err := c.Profile(context.Background(), profileRequest(collectors), nil)
+	// fallbackNotice tells the user why a request that started on the
+	// daemon finished in-process. The daemon path is best-effort: any
+	// daemon failure — overload past the client's retry budget, a
+	// missed deadline, a connection that died mid-stream — degrades to
+	// local execution of the identical request.
+	fallbackNotice := func(cause error) {
+		fmt.Fprintf(os.Stderr, "miniperf: daemon failed (%v), running in-process\n", cause)
+	}
+
+	// runProfile is the daemon-first execution path shared by the
+	// profile-shaped verbs: serve from a detected daemon with retries,
+	// fall back to in-process execution when the daemon cannot.
+	runProfile := func(c *client.Client, collectors []string) *mperf.Profile {
+		prof, _, err := client.ProfileWithFallback(context.Background(), c, profileRequest(collectors), nil,
+			fallbackNotice, func() (*mperf.Profile, error) {
+				sess, err := mperf.Open(*platName, *workload, opts...)
+				if err != nil {
+					return nil, err
+				}
+				cs, err := mperf.Collectors(collectors...)
+				if err != nil {
+					return nil, err
+				}
+				return sess.Run(cs...)
+			})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "miniperf: daemon %s failed (%v), running in-process\n", c.Addr(), err)
-			return nil
+			fail(err)
 		}
 		return prof
 	}
@@ -240,25 +257,24 @@ func main() {
 	// runOne opens a session and runs one collector, failing the
 	// process on any error — the single-verb verbs share it. For the
 	// collectors whose rendering needs only serialized profile fields
-	// it transparently uses a running daemon.
+	// it transparently uses a running daemon, falling back in-process.
 	runOne := func(collector string) (*mperf.Session, *mperf.Profile) {
 		sess, err := mperf.Open(*platName, *workload, opts...)
 		if err != nil {
 			fail(err)
 		}
+		var c *client.Client
 		if collector == "stat" || collector == "topdown" {
-			if prof := daemonProfile([]string{collector}); prof != nil {
-				if err := prof.Err(); err != nil {
-					fail(err)
+			c = daemon()
+		}
+		prof, _, err := client.ProfileWithFallback(context.Background(), c, profileRequest([]string{collector}), nil,
+			fallbackNotice, func() (*mperf.Profile, error) {
+				cs, err := mperf.Collectors(collector)
+				if err != nil {
+					return nil, err
 				}
-				return sess, prof
-			}
-		}
-		cs, err := mperf.Collectors(collector)
-		if err != nil {
-			fail(err)
-		}
-		prof, err := sess.Run(cs...)
+				return sess.Run(cs...)
+			})
 		if err != nil {
 			fail(err)
 		}
@@ -355,20 +371,7 @@ func main() {
 		fmt.Printf("  → dominant: %s\n", td.Dominant)
 
 	case "profile":
-		prof := daemonProfile(collectorNames)
-		if prof == nil {
-			sess, err := mperf.Open(*platName, *workload, opts...)
-			if err != nil {
-				fail(err)
-			}
-			cs, err := mperf.Collectors(collectorNames...)
-			if err != nil {
-				fail(err)
-			}
-			if prof, err = sess.Run(cs...); err != nil {
-				fail(err)
-			}
-		}
+		prof := runProfile(daemon(), collectorNames)
 		emitJSON(prof) // the profile verb is JSON by design
 		if err := prof.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "miniperf: partial profile: %v\n", err)
@@ -377,23 +380,30 @@ func main() {
 	case "matrix":
 		var cells []mperf.MatrixCell
 		var cacheStats mperf.CacheStats
+		served := false
 		if c := daemon(); c != nil {
 			res, err := c.Matrix(context.Background(), mperfd.MatrixRequest{
 				Platforms:   splitList(*platforms),
 				Workloads:   splitList(*workloadList),
 				Collectors:  collectorNames,
 				Parallelism: *parallel,
+				TimeoutMS:   requestTimeout.Milliseconds(),
 				Sizing:      sizing,
 			})
 			if err != nil {
-				fail(err)
+				// The daemon path is best-effort: a dead or overloaded
+				// daemon degrades to the identical in-process sweep.
+				fallbackNotice(err)
+			} else {
+				if *asJSON {
+					emitJSON(res)
+					return
+				}
+				cells, cacheStats = res.Cells, res.Cache
+				served = true
 			}
-			if *asJSON {
-				emitJSON(res)
-				return
-			}
-			cells, cacheStats = res.Cells, res.Cache
-		} else {
+		}
+		if !served {
 			res, err := mperf.RunMatrix(mperf.MatrixSpec{
 				Platforms:   splitList(*platforms),
 				Workloads:   splitList(*workloadList),

@@ -4,13 +4,21 @@
 // and share one process's warm state.
 //
 //	mperfd serve [-addr 127.0.0.1:7421] [-workers N] [-queue N]
-//	             [-addrfile PATH] [-stdio]
+//	             [-addrfile PATH] [-stdio] [-deadline D] [-max-deadline D]
+//	             [-session-inflight N] [-session-rps R] [-chaos SPEC]
 //
 // serve listens on -addr with the HTTP JSON API (see pkg/mperfd for
 // the endpoints) and, with -stdio, additionally serves the
 // newline-delimited JSON transport on stdin/stdout — or only stdio
 // when -addr is empty. -addrfile writes the actually bound address
 // (useful with -addr :0) for scripts that need to find the daemon.
+//
+// -deadline/-max-deadline set the server-enforced request deadline
+// and the cap on per-request overrides; -session-inflight and
+// -session-rps bound each client session's concurrency and request
+// rate. -chaos arms fault-injection points ("point[:N][=DELAY]",
+// comma-separated; see pkg/mperf/faultinject) so the chaos test
+// harness and CI can break a live daemon on purpose.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners close, queued
 // and in-flight requests drain, then the process exits 0. A second
@@ -29,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"mperf/pkg/mperf/faultinject"
 	"mperf/pkg/mperfd"
 )
 
@@ -52,13 +61,31 @@ func main() {
 	addrFile := fs.String("addrfile", "", "write the bound HTTP address to this file")
 	stdio := fs.Bool("stdio", false, "also serve the NDJSON transport on stdin/stdout")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	deadline := fs.Duration("deadline", 0, "server-enforced per-request deadline (0 = default, negative = off)")
+	maxDeadline := fs.Duration("max-deadline", 0, "cap on per-request deadline overrides (0 = default)")
+	sessInFlight := fs.Int("session-inflight", 0, "per-session in-flight request quota (0 = unlimited)")
+	sessRPS := fs.Float64("session-rps", 0, "per-session request rate limit in requests/second (0 = unlimited)")
+	chaos := fs.String("chaos", "", "arm fault injection points, e.g. collector.panic:1,conn.drop (testing only)")
 	fs.Parse(args)
 
 	if *addr == "" && !*stdio {
 		fail(errors.New("nothing to serve: -addr is empty and -stdio is off"))
 	}
+	if *chaos != "" {
+		if err := faultinject.ArmSpec(*chaos); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mperfd: CHAOS MODE: armed fault points %v\n", faultinject.ArmedPoints())
+	}
 
-	srv := mperfd.New(mperfd.Config{Workers: *workers, QueueDepth: *queue})
+	srv := mperfd.New(mperfd.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		RequestTimeout:     *deadline,
+		MaxRequestTimeout:  *maxDeadline,
+		SessionMaxInFlight: *sessInFlight,
+		SessionRPS:         *sessRPS,
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

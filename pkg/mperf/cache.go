@@ -97,10 +97,13 @@ var defaultProgramCache = NewProgramCache()
 func DefaultProgramCache() *ProgramCache { return defaultProgramCache }
 
 // Get returns the program for key, invoking build at most once per key
-// for the cache's lifetime. hit reports whether the result came from
-// the cache (including waiting on another goroutine's in-flight
-// build). Build errors are cached too: compilation is deterministic,
-// so retrying an identical build cannot succeed.
+// while the build is in flight or once it has succeeded. hit reports
+// whether the result came from the cache (including waiting on another
+// goroutine's in-flight build). A failed build is reported to the
+// caller (and any waiters that piled onto the in-flight entry) but not
+// cached: failures may be transient — a contained compile panic, an
+// injected chaos fault — so a later Get retries the build instead of
+// serving a poisoned entry forever.
 func (c *ProgramCache) Get(key ProgramKey, build func() (*vm.Program, error)) (prog *vm.Program, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -117,6 +120,13 @@ func (c *ProgramCache) Get(key ProgramKey, build func() (*vm.Program, error)) (p
 	c.mu.Unlock()
 
 	e.prog, e.err = build()
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
 	close(e.done)
 	return e.prog, false, e.err
 }

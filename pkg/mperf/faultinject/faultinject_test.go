@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with nothing armed")
+	}
+	if Fire(CollectorPanic) {
+		t.Error("disarmed point fired")
+	}
+	if err := Error(CompileFail); err != nil {
+		t.Errorf("disarmed point returned %v", err)
+	}
+	if err := Sleep(context.Background(), CollectorSlow); err != nil {
+		t.Errorf("disarmed sleep returned %v", err)
+	}
+}
+
+func TestTimesAutoDisarms(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(QueueExhaust, Times(2))
+	if !Fire(QueueExhaust) || !Fire(QueueExhaust) {
+		t.Fatal("armed point did not fire twice")
+	}
+	if Fire(QueueExhaust) {
+		t.Error("point fired past its Times budget")
+	}
+	if Enabled() {
+		t.Error("still enabled after auto-disarm")
+	}
+	if got := FireCount(QueueExhaust); got != 2 {
+		t.Errorf("fire count = %d, want 2", got)
+	}
+}
+
+func TestErrorIsTyped(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(CompileFail)
+	err := Error(CompileFail)
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("injected error %v does not match ErrInjected", err)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(CollectorSlow, Delay(time.Minute))
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	start := time.Now()
+	err := Sleep(ctx, CollectorSlow)
+	if err == nil {
+		t.Error("cancelled sleep returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled sleep stalled %v", elapsed)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := ArmSpec("collector.panic:1, collector.slow=250ms, worker.panic:2=10ms"); err != nil {
+		t.Fatal(err)
+	}
+	got := ArmedPoints()
+	want := []string{CollectorPanic, CollectorSlow, WorkerPanic}
+	if len(got) != len(want) {
+		t.Fatalf("armed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("armed %v, want %v", got, want)
+		}
+	}
+	if err := ArmSpec("no.such.point"); err == nil {
+		t.Error("unknown point accepted")
+	}
+	if err := ArmSpec("collector.slow=nonsense"); err == nil {
+		t.Error("bad delay accepted")
+	}
+	if err := ArmSpec("collector.panic:zero"); err == nil {
+		t.Error("bad count accepted")
+	}
+}

@@ -114,10 +114,16 @@ type TopDownResult struct {
 }
 
 // CollectorError is the typed per-collector failure carried by a
-// Profile.
+// Profile. Panic marks a contained panic (the collector crashed and
+// the session recovered it into this entry; see PanicError), with
+// Stack carrying the goroutine stack at recovery time. Both fields
+// are empty for ordinary "cannot run here" failures, so profiles on
+// the non-faulted path encode exactly as before.
 type CollectorError struct {
 	Collector string `json:"collector"`
 	Message   string `json:"message"`
+	Panic     bool   `json:"panic,omitempty"`
+	Stack     string `json:"stack,omitempty"`
 }
 
 // Error implements the error interface.

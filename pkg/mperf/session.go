@@ -35,6 +35,7 @@
 package mperf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -44,6 +45,7 @@ import (
 	"mperf/internal/platform"
 	"mperf/internal/vm"
 	"mperf/internal/workloads"
+	"mperf/pkg/mperf/faultinject"
 )
 
 // eventsByName maps the generalized perf event names to their codes.
@@ -226,9 +228,20 @@ func (s *Session) ProgramKey(optimize, instrument bool) ProgramKey {
 
 // Program returns the session's compiled artifact for the given build
 // flavor, compiling it through the session's cache at most once per
-// plan key.
+// plan key. A build that panics (a malformed workload module, a
+// compiler bug) is contained into a *PanicError rather than unwinding
+// the caller; the failed entry is not cached, so a later request can
+// retry the build.
 func (s *Session) Program(optimize, instrument bool) (*vm.Program, error) {
-	prog, hit, err := s.cache.Get(s.ProgramKey(optimize, instrument), func() (*vm.Program, error) {
+	prog, hit, err := s.cache.Get(s.ProgramKey(optimize, instrument), func() (prog *vm.Program, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				prog, err = nil, NewPanicError("compile "+s.spec.Name, r)
+			}
+		}()
+		if err := faultinject.Error(faultinject.CompileFail); err != nil {
+			return nil, err
+		}
 		return s.spec.BuildProgram(s.plat, optimize, instrument)
 	})
 	if err != nil {
@@ -253,9 +266,10 @@ func (s *Session) instantiate(optimize, instrument bool) (*vm.Machine, error) {
 // Run executes each collector over a coordinated execution of the
 // session's workload (each collector gets a fresh cold machine, so the
 // runs are independent and deterministic) and merges the results into
-// one Profile. A collector failure is recorded as a typed error on the
-// profile rather than aborting the remaining collectors; Run itself
-// errors only on misuse (no collectors).
+// one Profile. A collector failure — including a contained panic,
+// surfaced as a *PanicError-backed CollectorError — is recorded as a
+// typed error on the profile rather than aborting the remaining
+// collectors; Run itself errors only on misuse (no collectors).
 func (s *Session) Run(collectors ...Collector) (*Profile, error) {
 	if len(collectors) == 0 {
 		return nil, errNoCollectors()
@@ -264,8 +278,8 @@ func (s *Session) Run(collectors ...Collector) (*Profile, error) {
 	compiled0, hits0 := s.compiled.Load(), s.hits.Load()
 	for _, c := range collectors {
 		p.Collectors = append(p.Collectors, c.Name())
-		if err := c.Collect(s, p); err != nil {
-			p.Errors = append(p.Errors, CollectorError{Collector: c.Name(), Message: err.Error()})
+		if err := s.collect(context.Background(), c, p); err != nil {
+			p.Errors = append(p.Errors, collectorError(c.Name(), err))
 		}
 	}
 	p.CompileStats = &CompileStats{

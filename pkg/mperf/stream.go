@@ -86,11 +86,7 @@ func (s *Session) RunStream(ctx context.Context, sink func(CollectorResult), col
 			defer wg.Done()
 			partials[i] = s.NewProfile()
 			partials[i].Collectors = []string{c.Name()}
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-			} else {
-				errs[i] = c.Collect(s, partials[i])
-			}
+			errs[i] = s.collect(ctx, c, partials[i])
 			emit(i)
 		}(i, c)
 	}
@@ -101,7 +97,7 @@ func (s *Session) RunStream(ctx context.Context, sink func(CollectorResult), col
 		final.Collectors = append(final.Collectors, c.Name())
 		mergeSection(final, c.Name(), partials[i])
 		if errs[i] != nil {
-			final.Errors = append(final.Errors, CollectorError{Collector: c.Name(), Message: errs[i].Error()})
+			final.Errors = append(final.Errors, collectorError(c.Name(), errs[i]))
 		}
 	}
 	final.CompileStats = &CompileStats{

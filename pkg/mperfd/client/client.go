@@ -3,10 +3,23 @@
 // NDJSON stream, so a caller gets each collector's partial result as
 // the daemon flushes it plus the final merged profile.
 //
+// The client honours the daemon's backpressure contract: 429 and 503
+// responses are retried with exponential backoff plus jitter, bounded
+// by RetryPolicy and the caller's context, and a Retry-After header
+// overrides the computed backoff — the daemon knows its own queue
+// better than any client-side guess. A stream that dies after frames
+// have been delivered is never blindly retried (frames would repeat);
+// it surfaces as ErrInterrupted so callers can fall back, which
+// ProfileWithFallback packages up for cmd/miniperf: daemon first,
+// retries per policy, in-process execution when the daemon is gone.
+//
 // Detect implements the CLI's daemon discovery: MPERFD_ADDR if set,
 // otherwise the default local address, probed with a short timeout so
 // `miniperf` falls back to in-process execution instantly when no
-// daemon is running.
+// daemon is running. The probe timeout is configurable
+// (Client.ProbeTimeout, MPERFD_PROBE_TIMEOUT) and DetectContext
+// threads the caller's context through, so a cancelled CLI never
+// hangs on a dead daemon address.
 package client
 
 import (
@@ -14,10 +27,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,9 +48,66 @@ const DefaultAddr = "127.0.0.1:7421"
 // AddrEnv is the environment variable naming the daemon address.
 const AddrEnv = "MPERFD_ADDR"
 
-// ErrBusy reports daemon backpressure (HTTP 429): the bounded request
-// queue is full and the request should be retried after a backoff.
-var ErrBusy = fmt.Errorf("mperfd: daemon busy (queue full)")
+// ProbeTimeoutEnv overrides the daemon-discovery probe timeout (Go
+// duration syntax, e.g. "1s").
+const ProbeTimeoutEnv = "MPERFD_PROBE_TIMEOUT"
+
+// DefaultProbeTimeout bounds Detect's liveness probe: long enough for
+// a healthy local daemon, short enough that `miniperf` falls back to
+// in-process execution without a noticeable stall.
+const DefaultProbeTimeout = 250 * time.Millisecond
+
+// Typed daemon failures, distinguishable with errors.Is so callers
+// can choose between retrying, backing off, and falling back.
+var (
+	// ErrBusy reports daemon backpressure (HTTP 429): the bounded
+	// request queue (or the session's rate/quota limit) rejected the
+	// request, and the retry budget was exhausted without getting in.
+	ErrBusy = errors.New("mperfd: daemon busy (queue full)")
+	// ErrUnavailable reports HTTP 503: the daemon is draining and will
+	// not take new work.
+	ErrUnavailable = errors.New("mperfd: daemon unavailable (draining)")
+	// ErrDeadline reports HTTP 504: the daemon's server-side request
+	// deadline expired before the request finished.
+	ErrDeadline = errors.New("mperfd: daemon request deadline exceeded")
+	// ErrInterrupted reports a response stream that died after frames
+	// were delivered — the daemon crashed or the connection dropped
+	// mid-request. The request may have half-run; callers should fall
+	// back to in-process execution rather than retry blindly.
+	ErrInterrupted = errors.New("mperfd: response stream interrupted")
+)
+
+// RetryPolicy bounds the client's retry loop for retryable failures
+// (connection errors before any response, 429, 503).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first included
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); attempt
+	// n waits BaseDelay·2ⁿ with ±25% jitter, capped at MaxDelay. A
+	// Retry-After header replaces the computed delay.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff wait (default 3s).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is what New installs.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 3 * time.Second}
+
+// Delay computes the wait before the next try after attempt (0-based
+// first try), honouring the server's Retry-After when present.
+func (p RetryPolicy) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	d := p.BaseDelay << uint(attempt)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	// ±25% jitter keeps a fleet of rejected clients from re-converging
+	// on the daemon in lockstep.
+	return d/2 + d/4 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
 
 // Client talks to one daemon.
 type Client struct {
@@ -42,6 +115,11 @@ type Client struct {
 	http *http.Client
 	// SessionID, when set, binds every request to a daemon session.
 	SessionID string
+	// Retry bounds the backoff loop on 429/503/connection failures.
+	Retry RetryPolicy
+	// ProbeTimeout bounds Detect's liveness probe (default
+	// DefaultProbeTimeout, overridable via MPERFD_PROBE_TIMEOUT).
+	ProbeTimeout time.Duration
 }
 
 // New returns a client for the daemon at addr (host:port, or a full
@@ -51,7 +129,23 @@ func New(addr string) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+	return &Client{
+		base:         strings.TrimRight(base, "/"),
+		http:         &http.Client{},
+		Retry:        DefaultRetryPolicy,
+		ProbeTimeout: probeTimeout(),
+	}
+}
+
+// probeTimeout resolves the discovery probe timeout from the
+// environment, falling back to the default on absence or nonsense.
+func probeTimeout() time.Duration {
+	if v := os.Getenv(ProbeTimeoutEnv); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return d
+		}
+	}
+	return DefaultProbeTimeout
 }
 
 // Addr returns the daemon base URL the client targets.
@@ -67,20 +161,24 @@ func EnvAddr() string {
 }
 
 // Detect probes for a running daemon at EnvAddr and returns a client
-// for it, or nil when none responds within the (short) probe timeout.
-// This is the auto-discovery `miniperf` runs before every daemon-able
-// verb.
-func Detect() *Client {
+// for it, or nil when none responds within the probe timeout. This is
+// the auto-discovery `miniperf` runs before every daemon-able verb.
+func Detect() *Client { return DetectContext(context.Background()) }
+
+// DetectContext is Detect bounded by the caller's context as well as
+// the probe timeout, so discovery aborts as soon as either gives up.
+func DetectContext(ctx context.Context) *Client {
 	c := New(EnvAddr())
-	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	pctx, cancel := context.WithTimeout(ctx, c.ProbeTimeout)
 	defer cancel()
-	if err := c.Ping(ctx); err != nil {
+	if err := c.Ping(pctx); err != nil {
 		return nil
 	}
 	return c
 }
 
-// Ping checks daemon liveness via /healthz.
+// Ping checks daemon liveness via /healthz. A degraded daemon still
+// pings OK (it is serving); a draining one does not.
 func (c *Client) Ping(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
@@ -97,15 +195,29 @@ func (c *Client) Ping(ctx context.Context) error {
 	return nil
 }
 
+// Health fetches the daemon's health and degraded-state report.
+func (c *Client) Health(ctx context.Context) (*mperfd.HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out mperfd.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // do issues one request with the session header applied.
-func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return nil, err
-		}
-		rd = bytes.NewReader(data)
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
@@ -120,10 +232,109 @@ func (c *Client) do(ctx context.Context, method, path string, body any) (*http.R
 	return c.http.Do(req)
 }
 
+// retryable reports whether a response status is worth retrying, and
+// the server-directed wait if it sent one.
+func retryable(resp *http.Response) (bool, time.Duration) {
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return false, 0
+	}
+	var after time.Duration
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			after = time.Duration(secs) * time.Second
+		}
+	}
+	return true, after
+}
+
+// doRetry issues the request under the client's retry policy:
+// connection failures and retryable statuses back off (honouring
+// Retry-After) and try again until the attempts or the context run
+// out. Requests against the daemon are pure computations, so retrying
+// a POST is safe. The returned response, when non-nil, is the last
+// attempt's and may still be a failure status the caller must map.
+func (c *Client) doRetry(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var data []byte
+	if body != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return nil, err
+		}
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	var lastResp *http.Response
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			var after time.Duration
+			if lastResp != nil {
+				_, after = retryable(lastResp)
+				io.Copy(io.Discard, lastResp.Body)
+				lastResp.Body.Close()
+			}
+			if err := sleepCtx(ctx, c.Retry.Delay(attempt-1, after)); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.do(ctx, method, path, data)
+		if err != nil {
+			// Transport failure before a response: the daemon may be
+			// restarting; worth another try unless the context died.
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr, lastResp = err, nil
+			continue
+		}
+		if ok, _ := retryable(resp); !ok {
+			return resp, nil
+		}
+		lastErr, lastResp = decodeStatus(resp), resp
+	}
+	if lastResp != nil {
+		// Out of attempts with a retryable status: report it typed.
+		io.Copy(io.Discard, lastResp.Body)
+		lastResp.Body.Close()
+	}
+	return nil, lastErr
+}
+
+// sleepCtx waits d or until ctx dies — the backoff must never outlive
+// the caller's deadline.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// decodeStatus maps a non-2xx response to its typed error.
+func decodeStatus(resp *http.Response) error {
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return ErrBusy
+	case http.StatusServiceUnavailable:
+		return ErrUnavailable
+	case http.StatusGatewayTimeout:
+		return ErrDeadline
+	}
+	return nil
+}
+
 // decodeError turns a non-2xx response into an error.
 func decodeError(resp *http.Response) error {
-	if resp.StatusCode == http.StatusTooManyRequests {
-		return ErrBusy
+	if err := decodeStatus(resp); err != nil {
+		return err
 	}
 	var body struct {
 		Error string `json:"error"`
@@ -138,26 +349,84 @@ func decodeError(resp *http.Response) error {
 // onFrame (optional) sees every frame as it arrives — partial
 // collector results in completion order, then the terminal frame.
 // The returned profile is the daemon's merged result.
+//
+// Backpressure and connection failures before the stream starts are
+// retried per the client's RetryPolicy. A stream that breaks after
+// delivering frames returns ErrInterrupted (wrapped) instead of being
+// retried, because the frames already handed to onFrame cannot be
+// unseen; callers fall back (see ProfileWithFallback).
 func (c *Client) Profile(ctx context.Context, req mperfd.ProfileRequest, onFrame func(mperfd.Frame)) (*mperf.Profile, error) {
-	resp, err := c.do(ctx, http.MethodPost, "/v1/profile", req)
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			var after time.Duration
+			if ra := (retryAfterError{}); errors.As(lastErr, &ra) {
+				after = ra.after
+			}
+			if err := sleepCtx(ctx, c.Retry.Delay(attempt-1, after)); err != nil {
+				return nil, err
+			}
+		}
+		prof, retry, err := c.profileOnce(ctx, req, onFrame)
+		if err == nil {
+			return prof, nil
+		}
+		if !retry || ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, errors.Unwrap(lastErr)
+}
+
+// retryAfterError carries a server-directed wait through the retry
+// loop alongside the typed rejection it decorates.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e retryAfterError) Error() string { return e.err.Error() }
+func (e retryAfterError) Unwrap() error { return e.err }
+
+// profileOnce is one attempt of Profile. retry reports whether the
+// failure is safe to retry (nothing irreversible reached onFrame).
+func (c *Client) profileOnce(ctx context.Context, req mperfd.ProfileRequest, onFrame func(mperfd.Frame)) (prof *mperf.Profile, retry bool, err error) {
+	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/profile", body)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		return nil, true, retryAfterError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
+		if ok, after := retryable(resp); ok {
+			return nil, true, retryAfterError{err: decodeStatus(resp), after: after}
+		}
+		return nil, false, decodeError(resp)
 	}
+
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 16<<20)
-	var prof *mperf.Profile
+	sawFrame := false
 	for sc.Scan() {
 		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
 			continue
 		}
 		var f mperfd.Frame
 		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
-			return nil, fmt.Errorf("mperfd: bad stream frame: %w", err)
+			return nil, false, fmt.Errorf("mperfd: bad stream frame: %w", err)
 		}
+		sawFrame = true
 		if onFrame != nil {
 			onFrame(f)
 		}
@@ -165,24 +434,59 @@ func (c *Client) Profile(ctx context.Context, req mperfd.ProfileRequest, onFrame
 		case "profile":
 			prof = f.Profile
 		case "error":
-			if f.Busy {
-				return nil, ErrBusy
+			if f.Busy || f.Code == "busy" {
+				// The daemon rejected after the stream opened; nothing
+				// ran, so the retry loop may take another swing.
+				return nil, true, retryAfterError{err: ErrBusy}
 			}
-			return nil, fmt.Errorf("mperfd: %s", f.Error)
+			return nil, false, fmt.Errorf("mperfd: %s", f.Error)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		if !sawFrame {
+			return nil, true, retryAfterError{err: err}
+		}
+		return nil, false, fmt.Errorf("%w: %v", ErrInterrupted, err)
 	}
 	if prof == nil {
-		return nil, fmt.Errorf("mperfd: stream ended without a terminal profile frame")
+		// The stream ended cleanly but without a terminal frame: the
+		// daemon died mid-request.
+		if !sawFrame {
+			return nil, true, retryAfterError{err: fmt.Errorf("mperfd: stream ended without frames")}
+		}
+		return nil, false, fmt.Errorf("%w: stream ended without a terminal profile frame", ErrInterrupted)
 	}
-	return prof, nil
+	return prof, false, nil
 }
 
-// Matrix runs a sweep on the daemon.
+// ProfileWithFallback is the CLI's daemon-first execution path as a
+// library: serve req from daemon c (retrying per its policy), and when
+// the daemon cannot — unreachable, overloaded past the retry budget,
+// or dead mid-stream — run local instead. A nil client skips straight
+// to local. onFallback (optional) observes the daemon error that
+// triggered the fallback. fromDaemon reports which path produced the
+// profile.
+func ProfileWithFallback(ctx context.Context, c *Client, req mperfd.ProfileRequest, onFrame func(mperfd.Frame), onFallback func(error), local func() (*mperf.Profile, error)) (prof *mperf.Profile, fromDaemon bool, err error) {
+	if c != nil {
+		prof, err := c.Profile(ctx, req, onFrame)
+		if err == nil {
+			return prof, true, nil
+		}
+		if ctx.Err() != nil {
+			return nil, false, err
+		}
+		if onFallback != nil {
+			onFallback(err)
+		}
+	}
+	prof, err = local()
+	return prof, false, err
+}
+
+// Matrix runs a sweep on the daemon, retrying backpressure rejections
+// per the client's policy.
 func (c *Client) Matrix(ctx context.Context, req mperfd.MatrixRequest) (*mperfd.MatrixResponse, error) {
-	resp, err := c.do(ctx, http.MethodPost, "/v1/matrix", req)
+	resp, err := c.doRetry(ctx, http.MethodPost, "/v1/matrix", req)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +521,8 @@ func (c *Client) Stats(ctx context.Context) (*mperfd.StatsResponse, error) {
 
 // OpenSession opens a named daemon session and binds the client to it.
 func (c *Client) OpenSession(ctx context.Context, name string) (string, error) {
-	resp, err := c.do(ctx, http.MethodPost, "/v1/sessions", map[string]string{"name": name})
+	body, _ := json.Marshal(map[string]string{"name": name})
+	resp, err := c.do(ctx, http.MethodPost, "/v1/sessions", body)
 	if err != nil {
 		return "", err
 	}
@@ -225,14 +530,14 @@ func (c *Client) OpenSession(ctx context.Context, name string) (string, error) {
 	if resp.StatusCode != http.StatusOK {
 		return "", decodeError(resp)
 	}
-	var body struct {
+	var out struct {
 		ID string `json:"id"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return "", err
 	}
-	c.SessionID = body.ID
-	return body.ID, nil
+	c.SessionID = out.ID
+	return out.ID, nil
 }
 
 // CloseSession closes the client's bound session (if any), cancelling
@@ -254,7 +559,7 @@ func (c *Client) CloseSession(ctx context.Context) error {
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	resp, err := c.doRetry(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}

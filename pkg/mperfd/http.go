@@ -2,11 +2,15 @@ package mperfd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"mperf/pkg/mperf"
+	"mperf/pkg/mperf/faultinject"
 )
 
 // SessionHeader is the optional HTTP request header binding a request
@@ -16,7 +20,7 @@ const SessionHeader = "Mperfd-Session"
 
 // Handler returns the daemon's HTTP API:
 //
-//	GET  /healthz        liveness probe ("ok")
+//	GET  /healthz        health + degraded state (JSON; 503 when draining)
 //	GET  /v1/workloads   registered workloads
 //	GET  /v1/platforms   registered platforms
 //	GET  /v1/stats       daemon + program-cache counters
@@ -27,13 +31,22 @@ const SessionHeader = "Mperfd-Session"
 //
 // /v1/profile streams: one type="collector" Frame per collector in
 // completion order, then a terminal type="profile" Frame whose
-// profile is bit-identical to the equivalent in-process run. A full
-// queue is 429 with Retry-After; a draining server is 503.
+// profile is bit-identical to the equivalent in-process run. Failure
+// mapping: a full queue or a session over its rate/quota limits is
+// 429 with a Retry-After computed from real queue depth and drain
+// rate; a draining server is 503; a missed server-side deadline is
+// 504. A failure after streaming has started can no longer change the
+// status code, so it becomes a terminal type="error" Frame with a
+// machine-readable Code instead.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		h := s.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status == "draining" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = mperf.WriteJSON(w, h)
 	})
 	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
 		infos, err := mperf.WorkloadInfos()
@@ -87,6 +100,41 @@ func (s *Server) requestSession(w http.ResponseWriter, r *http.Request) (*Client
 	return cs, func() { s.CloseSession(cs.ID()) }, true
 }
 
+// failStatus maps a request error to its HTTP status.
+func failStatus(err error) int {
+	switch errorCode(err) {
+	case "busy", "rate_limited", "quota":
+		return http.StatusTooManyRequests
+	case "draining":
+		return http.StatusServiceUnavailable
+	case "deadline":
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// setRetryAfter attaches the Retry-After header for retryable
+// rejections: a rate-limited session gets its own bucket's refill
+// time, everything else gets the server's backlog-derived estimate.
+func (s *Server) setRetryAfter(w http.ResponseWriter, err error) {
+	var after time.Duration
+	var rle *RateLimitError
+	switch {
+	case errors.As(err, &rle):
+		after = rle.RetryAfter
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrSessionQuota), errors.Is(err, ErrDraining):
+		after = s.RetryAfter()
+	default:
+		return
+	}
+	secs := int((after + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	var req ProfileRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -107,33 +155,53 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	var wmu sync.Mutex
+	var (
+		wmu     sync.Mutex
+		wrote   bool // a frame reached the wire: the status code is spent
+		dropped bool // conn.drop fired: the connection is gone
+	)
 	writeFrame := func(f Frame) {
 		wmu.Lock()
 		defer wmu.Unlock()
+		if dropped {
+			return
+		}
+		wrote = true
 		// A write error means the client is gone; its context will
 		// cancel the request, so dropping the frame is fine.
 		_ = mperf.WriteJSONLine(w, f)
 		if flusher != nil {
 			flusher.Flush()
 		}
+		// Chaos: sever the connection mid-stream, after a frame has
+		// been delivered, to exercise client-side interruption
+		// handling and in-process fallback.
+		if faultinject.Fire(faultinject.ConnDrop) {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					dropped = true
+				}
+			}
+		}
 	}
 
 	prof, err := s.Profile(r.Context(), cs, req, func(res mperf.CollectorResult) {
 		writeFrame(Frame{Type: "collector", Result: &res})
 	})
+	streamed := func() bool {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return wrote
+	}()
 	switch {
-	case err == ErrQueueFull:
-		// Nothing streamed yet (the queue rejected synchronously), so
-		// the status code is still ours to set.
+	case err != nil && !streamed:
+		// Nothing on the wire yet: the status code is still ours.
 		w.Header().Del("Content-Type")
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, err)
-	case err == ErrDraining:
-		w.Header().Del("Content-Type")
-		httpError(w, http.StatusServiceUnavailable, err)
+		s.setRetryAfter(w, err)
+		httpError(w, failStatus(err), err)
 	case err != nil:
-		writeFrame(Frame{Type: "error", Error: err.Error()})
+		writeFrame(Frame{Type: "error", Error: err.Error(), Code: errorCode(err), Busy: errors.Is(err, ErrQueueFull)})
 	default:
 		writeFrame(Frame{Type: "profile", Profile: prof})
 	}
@@ -155,17 +223,12 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	res, err := s.Matrix(r.Context(), cs, req)
-	switch {
-	case err == ErrQueueFull:
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, err)
-	case err == ErrDraining:
-		httpError(w, http.StatusServiceUnavailable, err)
-	case err != nil:
-		httpError(w, http.StatusInternalServerError, err)
-	default:
-		writeJSON(w, res)
+	if err != nil {
+		s.setRetryAfter(w, err)
+		httpError(w, failStatus(err), err)
+		return
 	}
+	writeJSON(w, res)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -2,6 +2,7 @@ package mperfd
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,12 @@ import (
 
 	"mperf/pkg/mperf"
 )
+
+// MaxStdioFrame bounds one stdio request line. An oversized frame is
+// drained and answered with a typed per-frame error instead of
+// tearing down the session, so one bad client line cannot kill a
+// connection carrying other in-flight requests.
+const MaxStdioFrame = 1 << 20
 
 // ServeStdio serves the newline-delimited JSON transport on one
 // reader/writer pair (canonically stdin/stdout of `mperfd serve
@@ -22,13 +29,20 @@ import (
 //     A profile request yields type="collector" frames in completion
 //     order followed by one terminal type="profile" frame; every other
 //     method yields exactly one terminal frame. type="error"
-//     terminates a failed request (Busy marks queue backpressure).
+//     terminates a failed request, with Code classifying the failure
+//     (Busy remains the legacy marker for queue backpressure).
 //
 // Requests run concurrently — frames of different requests interleave,
 // which is why every frame carries the id. The connection is one
 // client session: when the reader reaches EOF (or ctx is cancelled)
 // the session closes, cancelling in-flight requests, and ServeStdio
 // returns once their workers have drained.
+//
+// The framing layer is failure-contained: malformed JSON and frames
+// over MaxStdioFrame are answered with typed error frames
+// (code="bad_frame" / "frame_too_large") and the session keeps
+// serving; a panic while dispatching one request becomes that
+// request's error frame, not the connection's death.
 func (s *Server) ServeStdio(ctx context.Context, r io.Reader, w io.Writer) error {
 	cs := s.OpenSession("stdio")
 	defer s.CloseSession(cs.ID())
@@ -46,35 +60,76 @@ func (s *Server) ServeStdio(ctx context.Context, r io.Reader, w io.Writer) error
 	var wg sync.WaitGroup
 	defer wg.Wait()
 
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
 		if ctx.Err() != nil {
-			break
+			return nil
 		}
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+		line, tooLong, err := readFrameLine(br, MaxStdioFrame)
+		if tooLong {
+			writeFrame(Frame{Type: "error", Code: "frame_too_large",
+				Error: fmt.Sprintf("mperfd: request frame exceeds %d bytes", MaxStdioFrame)})
+		} else if len(bytes.TrimSpace(line)) > 0 {
+			var req Request
+			if jerr := json.Unmarshal(line, &req); jerr != nil {
+				writeFrame(Frame{Type: "error", Code: "bad_frame",
+					Error: fmt.Sprintf("mperfd: bad request line: %v", jerr)})
+			} else {
+				wg.Add(1)
+				go func(req Request) {
+					defer wg.Done()
+					s.serveRequest(ctx, cs, req, writeFrame)
+				}(req)
+			}
 		}
-		var req Request
-		if err := json.Unmarshal(line, &req); err != nil {
-			writeFrame(Frame{Type: "error", Error: fmt.Sprintf("mperfd: bad request line: %v", err)})
-			continue
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
 		}
-		wg.Add(1)
-		go func(req Request) {
-			defer wg.Done()
-			s.serveRequest(ctx, cs, req, writeFrame)
-		}(req)
 	}
-	return sc.Err()
 }
 
-// serveRequest dispatches one stdio request and writes its frames.
+// readFrameLine reads one newline-terminated frame of at most max
+// bytes. A longer line is drained through to its newline and reported
+// with tooLong=true, so the reader stays aligned on frame boundaries
+// and the session survives the bad frame. err is io.EOF at end of
+// input (possibly alongside a final unterminated line).
+func readFrameLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	for {
+		chunk, rerr := br.ReadSlice('\n')
+		if !tooLong {
+			line = append(line, chunk...)
+			if len(line) > max {
+				line, tooLong = nil, true
+			}
+		}
+		switch rerr {
+		case nil:
+			return line, tooLong, nil
+		case bufio.ErrBufferFull:
+			continue // frame spans buffer chunks; keep accumulating
+		default:
+			return line, tooLong, rerr
+		}
+	}
+}
+
+// serveRequest dispatches one stdio request and writes its frames. A
+// panic while dispatching is contained into the request's own error
+// frame: the session, its other requests, and the daemon all survive.
 func (s *Server) serveRequest(ctx context.Context, cs *ClientSession, req Request, writeFrame func(Frame)) {
 	fail := func(err error) {
-		writeFrame(Frame{ID: req.ID, Type: "error", Error: err.Error(), Busy: err == ErrQueueFull})
+		writeFrame(Frame{ID: req.ID, Type: "error", Error: err.Error(),
+			Code: errorCode(err), Busy: errorCode(err) == "busy"})
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.recordPanic()
+			fail(mperf.NewPanicError("mperfd stdio request", r))
+		}
+	}()
 	switch req.Method {
 	case "ping":
 		writeFrame(Frame{ID: req.ID, Type: "pong"})
@@ -95,6 +150,9 @@ func (s *Server) serveRequest(ctx context.Context, cs *ClientSession, req Reques
 	case "stats":
 		st := s.Stats()
 		writeFrame(Frame{ID: req.ID, Type: "stats", Stats: &st})
+	case "health":
+		h := s.Health()
+		writeFrame(Frame{ID: req.ID, Type: "health", Health: &h})
 	case "profile":
 		if req.Profile == nil {
 			fail(fmt.Errorf("mperfd: profile method needs a profile payload"))

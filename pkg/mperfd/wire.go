@@ -1,6 +1,8 @@
 package mperfd
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"mperf/internal/platform"
@@ -60,6 +62,9 @@ type ProfileRequest struct {
 	Workload string `json:"workload"`
 	// Collectors defaults to the full registry when empty.
 	Collectors []string `json:"collectors,omitempty"`
+	// TimeoutMS overrides the server's default request deadline, in
+	// milliseconds, capped by the server's configured maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	Sizing
 }
 
@@ -98,6 +103,9 @@ type MatrixRequest struct {
 	Workloads   []string `json:"workloads,omitempty"`
 	Collectors  []string `json:"collectors,omitempty"`
 	Parallelism int      `json:"parallelism,omitempty"`
+	// TimeoutMS overrides the server's default request deadline, in
+	// milliseconds, capped by the server's configured maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	Sizing
 }
 
@@ -134,16 +142,46 @@ type MatrixResponse struct {
 // shape, request accounting, open sessions, and the program cache's
 // counters straight from ProgramCache.Stats.
 type StatsResponse struct {
-	Workers       int              `json:"workers"`
-	QueueCap      int              `json:"queue_cap"`
-	QueueDepth    int              `json:"queue_depth"`
-	Active        int64            `json:"active"`
-	Served        uint64           `json:"served"`
-	Rejected      uint64           `json:"rejected"`
-	SessionsOpen  int              `json:"sessions_open"`
-	SessionsTotal uint64           `json:"sessions_total"`
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Cache         mperf.CacheStats `json:"cache"`
+	Workers    int    `json:"workers"`
+	QueueCap   int    `json:"queue_cap"`
+	QueueDepth int    `json:"queue_depth"`
+	Active     int64  `json:"active"`
+	Served     uint64 `json:"served"`
+	Rejected   uint64 `json:"rejected"`
+	// Limited counts requests rejected by per-session rate limits or
+	// in-flight quotas (429s that are the session's fault, not the
+	// queue's).
+	Limited uint64 `json:"limited,omitempty"`
+	// Panics counts contained worker panics; the workers survived every
+	// one of them.
+	Panics uint64 `json:"panics,omitempty"`
+	// DeadlineMisses counts requests that hit the server-enforced
+	// deadline before finishing.
+	DeadlineMisses uint64           `json:"deadline_misses,omitempty"`
+	SessionsOpen   int              `json:"sessions_open"`
+	SessionsTotal  uint64           `json:"sessions_total"`
+	UptimeSeconds  float64          `json:"uptime_seconds"`
+	Cache          mperf.CacheStats `json:"cache"`
+}
+
+// HealthResponse is what GET /healthz serves: liveness plus degraded
+// state. Status is "ok", "degraded" (recent contained panic or a
+// near-saturated queue — still serving, but shed load), or "draining"
+// (shutting down; served with HTTP 503).
+type HealthResponse struct {
+	Status              string  `json:"status"`
+	Workers             int     `json:"workers"`
+	QueueDepth          int     `json:"queue_depth"`
+	QueueCap            int     `json:"queue_cap"`
+	QueueSaturation     float64 `json:"queue_saturation"`
+	Panics              uint64  `json:"panics"`
+	RecentPanic         bool    `json:"recent_panic"`
+	LastPanicAgoSeconds float64 `json:"last_panic_ago_seconds,omitempty"`
+	DeadlineMisses      uint64  `json:"deadline_misses"`
+	Rejected            uint64  `json:"rejected"`
+	// RetryAfterSeconds is the backoff the daemon is currently handing
+	// to rejected requests, derived from queue depth and drain rate.
+	RetryAfterSeconds int `json:"retry_after_seconds"`
 }
 
 // Frame is one message of a streamed response, shared verbatim by the
@@ -168,12 +206,44 @@ type Frame struct {
 	Workloads []mperf.WorkloadInfo `json:"workloads,omitempty"`
 	Platforms []mperf.PlatformInfo `json:"platforms,omitempty"`
 	Stats     *StatsResponse       `json:"stats,omitempty"`
+	Health    *HealthResponse      `json:"health,omitempty"`
 
-	// type="error": the request failed; Error explains why. Busy is
-	// set when the failure is queue backpressure (HTTP 429's stdio
-	// equivalent) — the client may retry after a backoff.
+	// type="error": the request failed; Error explains why, and Code
+	// classifies the failure for programmatic handling: "busy" (queue
+	// backpressure — retry after a backoff), "rate_limited", "quota",
+	// "draining", "deadline", "cancelled", "panic" (the request died to
+	// a contained panic; the daemon is still serving), "bad_frame"
+	// (malformed request line), "frame_too_large" (oversized request
+	// line), or "" for uncategorized errors. Busy is the legacy
+	// boolean form of Code=="busy".
 	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
 	Busy  bool   `json:"busy,omitempty"`
+}
+
+// errorCode classifies an error for Frame.Code and the transports'
+// shared status mapping.
+func errorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrQueueFull):
+		return "busy"
+	case errors.Is(err, ErrRateLimited):
+		return "rate_limited"
+	case errors.Is(err, ErrSessionQuota):
+		return "quota"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	case mperf.IsPanic(err):
+		return "panic"
+	default:
+		return ""
+	}
 }
 
 // Request is one stdio-transport request line. Method selects the
