@@ -153,6 +153,7 @@ func main() {
 	daemonMode := fs.String("daemon", "auto", "mperfd use: auto (use a daemon when one is up), off, or an explicit host:port")
 	requestTimeout := fs.Duration("request-timeout", 0, "daemon-side deadline for served requests (0 = daemon default)")
 	asJSON := fs.Bool("json", false, "emit the profile as JSON instead of rendered text")
+	vmStats := fs.Bool("vm-stats", false, "print VM execution coverage (fused steps, kernel hits) to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of miniperf itself here")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile of miniperf itself here")
 	fs.Parse(os.Args[2:])
@@ -178,6 +179,25 @@ func main() {
 	opts := []mperf.Option{
 		mperf.WithMatmulSize(*n, *tile),
 		mperf.WithSampleFreq(*freq),
+	}
+	// -vm-stats: diagnostic coverage counters, printed to stderr on
+	// exit and deliberately kept out of Profile output (profiles stay
+	// bit-identical with and without superblocks). Only in-process
+	// execution feeds the accumulator; daemon-served requests run in
+	// the daemon's VMs.
+	var execStats mperf.ExecStats
+	if *vmStats {
+		opts = append(opts, mperf.WithExecStats(&execStats))
+		defer func() {
+			total, fused := execStats.TotalSteps.Load(), execStats.FusedSteps.Load()
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(fused) / float64(total)
+			}
+			fmt.Fprintf(os.Stderr,
+				"miniperf: vm-stats: %d steps, %d fused (%.1f%%), %d kernel activations, %d kernel iterations\n",
+				total, fused, pct, execStats.KernelHits.Load(), execStats.KernelIters.Load())
+		}()
 	}
 	if *elems > 0 {
 		opts = append(opts, mperf.WithElems(*elems))

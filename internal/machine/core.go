@@ -118,6 +118,11 @@ type Core struct {
 	// call per uop.
 	sinkMask      uint64
 	sinkMaskValid bool
+	// sinkSampling caches whether the sink has an armed overflow
+	// sampler (see SamplingSink); refreshed with sinkMask. While false,
+	// event delivery is purely additive and region execution may
+	// coalesce block-edge flushes.
+	sinkSampling bool
 
 	// Flush marks for batched time-signal delivery. While only
 	// cycle/instret/mode-cycle counters are watched, uops run through
@@ -214,8 +219,19 @@ func (c *Core) SetSink(s EventSink) {
 // driving Exec directly should call it before the next uop.
 func (c *Core) RefreshSinkMask() {
 	c.sinkMask = 0
+	c.sinkSampling = false
 	if c.sink != nil {
 		c.sinkMask = c.sink.WatchMask()
+		if c.sinkMask != 0 {
+			// Sinks that cannot report their sampling state are treated
+			// as sampling whenever they watch anything: block-granular
+			// delivery is always correct, just not coalescible.
+			if s, ok := c.sink.(SamplingSink); ok {
+				c.sinkSampling = s.SamplingActive()
+			} else {
+				c.sinkSampling = true
+			}
+		}
 	}
 	c.sinkMaskValid = true
 }

@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"mperf/internal/isa"
+)
+
+// regionStream generates a deterministic mixed uop stream in template
+// form: raw planner register ids in the uops, dynamic operands
+// (addresses, branch outcomes, indirect targets) in a parallel dyn
+// slice — the exact shape the VM hands to ExecRegion.
+func regionStream(n int) ([]Uop, []RegionDyn) {
+	tmpl := make([]Uop, n)
+	dyn := make([]RegionDyn, n)
+	seed := uint64(0xBADC0FFEE)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	for i := range tmpl {
+		u := &tmpl[i]
+		u.Dst, u.Src1, u.Src2, u.Src3 = -1, -1, -1, -1
+		switch next() % 10 {
+		case 0, 1, 2:
+			u.Class = OpIntALU
+			u.Dst = int32(next() % 64)
+			u.Src1 = int32(next() % 64)
+			u.IntOps = 1
+		case 3:
+			u.Class = OpLoad
+			u.Dst = int32(next() % 64)
+			u.Size = 8
+			dyn[i].Addr = 0x2000 + next()%(1<<20)
+		case 4:
+			u.Class = OpStore
+			u.Src1 = int32(next() % 64)
+			u.Size = 8
+			dyn[i].Addr = 0x2000 + next()%(1<<20)
+		case 5:
+			u.Class = OpVecLoad
+			u.Dst = int32(next() % 64)
+			u.Size = 32
+			u.Lanes = 8
+			dyn[i].Addr = 0x2000 + next()%(1<<20)
+		case 6:
+			u.Class = OpFMA
+			u.Dst = int32(next() % 64)
+			u.Src1 = int32(next() % 64)
+			u.Src2 = int32(next() % 64)
+			u.Flops = 2
+		case 7:
+			u.Class = OpBranch
+			u.BrID = uint32(next()%16) + 1
+			dyn[i].Taken = next()%3 == 0
+		case 8:
+			u.Class = OpIndirect
+			u.BrID = uint32(next()%8) + 1
+			dyn[i].Target = 0xA000 + (next()%4)*0x40
+		case 9:
+			u.Class = OpIntDiv
+			u.Dst = int32(next() % 64)
+			u.Src1 = int32(next() % 64)
+			u.IntOps = 1
+		}
+	}
+	return tmpl, dyn
+}
+
+// TestRegionMatchesExec is the machine-level half of the superblock
+// invariance argument: charging a uop stream through ExecRegion — in
+// irregular region-sized slices — must leave the core in exactly the
+// state that per-uop Exec calls produce, for both pipeline kinds and
+// for every sink shape (quiet, time-only watcher, full-mask watcher),
+// including every event total the sink observed.
+func TestRegionMatchesExec(t *testing.T) {
+	const salt = uint32(7 * 251)
+	tmpl, dyn := regionStream(50_000)
+
+	sinks := map[string]func() EventSink{
+		"quiet":    func() EventSink { return nil },
+		"timeonly": func() EventSink { return &timeOnlySink{} },
+		"fullmask": func() EventSink { return &recordingSink{} },
+	}
+	totals := func(s EventSink) *[isa.NumSignals]uint64 {
+		switch r := s.(type) {
+		case *timeOnlySink:
+			return &r.totals
+		case *recordingSink:
+			return &r.totals
+		}
+		return nil
+	}
+
+	for _, cfg := range []Config{inOrderConfig(), oooConfig()} {
+		cfg.TimerIntervalCycles = 10_000
+		cfg.TimerHandlerCycles = 100
+		for name, mkSink := range sinks {
+			t.Run(fmt.Sprintf("%s/%s", cfg.Name, name), func(t *testing.T) {
+				sinkA, sinkB := mkSink(), mkSink()
+				perUop := NewCore(cfg, sinkA)
+				region := NewCore(cfg, sinkB)
+
+				// Reference: one Exec per uop, registers pre-salted the
+				// way the interpreter's frame.slot does.
+				slot := func(r int32) int32 {
+					if r < 0 {
+						return -1
+					}
+					return int32((uint32(r) + salt) & (scoreboardSize - 1))
+				}
+				for i := range tmpl {
+					u := tmpl[i]
+					u.Dst, u.Src1, u.Src2, u.Src3 = slot(u.Dst), slot(u.Src1), slot(u.Src2), slot(u.Src3)
+					u.Addr, u.Taken, u.Target = dyn[i].Addr, dyn[i].Taken, dyn[i].Target
+					perUop.Exec(&u)
+				}
+				perUop.FlushEvents()
+
+				// Same stream sliced into irregular regions.
+				sizes := []int{1, 7, 2, 31, 3, 64, 5, 17, 11, 1, 128, 23}
+				for i, s := 0, 0; i < len(tmpl); i, s = i+sizes[s%len(sizes)], s+1 {
+					end := i + sizes[s%len(sizes)]
+					if end > len(tmpl) {
+						end = len(tmpl)
+					}
+					region.ExecRegion(tmpl[i:end], dyn[i:end], salt)
+				}
+				region.FlushEvents()
+
+				if perUop.Cycles() != region.Cycles() {
+					t.Errorf("cycles diverge: per-uop %d, region %d", perUop.Cycles(), region.Cycles())
+				}
+				if perUop.Instret() != region.Instret() {
+					t.Errorf("instret diverges: per-uop %d, region %d", perUop.Instret(), region.Instret())
+				}
+				if perUop.Stats() != region.Stats() {
+					t.Errorf("stats diverge:\nper-uop: %+v\nregion:  %+v", perUop.Stats(), region.Stats())
+				}
+				ta, tb := totals(sinkA), totals(sinkB)
+				if ta != nil && *ta != *tb {
+					t.Errorf("sink totals diverge:\nper-uop: %v\nregion:  %v", *ta, *tb)
+				}
+			})
+		}
+	}
+}

@@ -128,6 +128,10 @@ type PMU struct {
 	// uninhibited counter observes that signal; zero means the whole
 	// PMU is idle and the core skips event delivery entirely.
 	watchMask uint64
+	// sampling caches whether any running uninhibited counter is armed
+	// for overflow interrupts (rebuilt with bySignal); while false,
+	// Apply is pure accumulation and the core may batch deliveries.
+	sampling bool
 }
 
 // New builds a PMU from the spec; it panics on malformed specs because
@@ -261,6 +265,7 @@ func (p *PMU) Arm(idx int, period uint64) error {
 	c.armed = true
 	c.period = period
 	c.nextOverflow = c.value + period
+	p.dirty = true
 	return nil
 }
 
@@ -270,6 +275,7 @@ func (p *PMU) Disarm(idx int) error {
 		return fmt.Errorf("pmu: no counter %d", idx)
 	}
 	p.counters[idx].armed = false
+	p.dirty = true
 	return nil
 }
 
@@ -289,11 +295,15 @@ func (p *PMU) rebuild() {
 		p.bySignal[i] = p.bySignal[i][:0]
 	}
 	p.watchMask = 0
+	p.sampling = false
 	for i := range p.counters {
 		c := &p.counters[i]
 		if c.running && c.hasSignal && p.inhibit&(1<<uint(i)) == 0 {
 			p.bySignal[c.signal] = append(p.bySignal[c.signal], i)
 			p.watchMask |= 1 << uint(c.signal)
+			if c.armed {
+				p.sampling = true
+			}
 		}
 	}
 	p.dirty = false
@@ -307,6 +317,18 @@ func (p *PMU) WatchMask() uint64 {
 		p.rebuild()
 	}
 	return p.watchMask
+}
+
+// SamplingActive implements machine.SamplingSink: it reports whether
+// any running, uninhibited counter is armed for overflow interrupts.
+// While false, Apply only accumulates, so delta delivery is additive
+// and the core may coalesce block-edge flushes into region-granular
+// batches without changing any counter value.
+func (p *PMU) SamplingActive() bool {
+	if p.dirty {
+		p.rebuild()
+	}
+	return p.sampling
 }
 
 // Apply implements machine.EventSink: it accumulates signal deltas

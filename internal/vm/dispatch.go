@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"mperf/internal/ir"
+	"mperf/internal/machine"
 )
 
 // This file builds the threaded-dispatch executors: at plan time every
@@ -491,6 +492,19 @@ func execSelectVec(m *Machine, fr *frame, st *step) *blockPlan {
 
 func execCall(m *Machine, fr *frame, st *step) *blockPlan {
 	m.emit(fr, st, 0, false, 0)
+	// On the fused path, charge the pending region prefix (including
+	// this call uop) before the callee runs, so callee-side charges and
+	// clock reads interleave with the caller's exactly as on the
+	// per-instruction path. The region cursor is saved around the call
+	// because the callee reuses the pending buffers.
+	var savedTmpl []machine.Uop
+	var savedFrom int
+	var savedSalt uint32
+	wasDeferring := m.deferring
+	if wasDeferring {
+		m.flushPending()
+		savedTmpl, savedFrom, savedSalt = m.pendTmpl, m.pendFrom, m.pendSalt
+	}
 	// The scratch buffer is safe to reuse across nested calls: the
 	// callee copies the arguments into its own register file before
 	// executing any instruction.
@@ -504,6 +518,10 @@ func execCall(m *Machine, fr *frame, st *step) *blockPlan {
 		cargs[j] = m.scalar(fr, &st.args[j])
 	}
 	res, vres := m.call(st.callee, cargs)
+	if wasDeferring {
+		m.pendTmpl, m.pendFrom, m.pendSalt = savedTmpl, savedFrom, savedSalt
+		m.pendN = 0
+	}
 	if st.dst >= 0 {
 		if st.in.Ty.IsVector() {
 			copy(fr.vregDst(st.dst, len(vres)), vres)

@@ -140,6 +140,34 @@ type Machine struct {
 	// phiScratch snapshots phi parallel-copy sources (scalars and
 	// flattened vector lanes) before any destination is written.
 	phiScratch []uint64
+
+	// Superblock execution state (superblock.go). fused selects the
+	// region-charging dispatch loop (a Program-level constant, set at
+	// instantiation). The pend* fields track the current region's
+	// deferred charges: pendTmpl is the region's charge template,
+	// pendDyn the recorded dynamic operands (parallel to pendTmpl),
+	// [pendFrom, pendFrom+pendN) the not-yet-flushed window, pendSalt
+	// the owning frame's scoreboard salt.
+	// deferring is true while a callFused activation is recording
+	// charges (false in sampling activations, which charge directly
+	// through the per-instruction path).
+	fused     bool
+	deferring bool
+	pendTmpl  []machine.Uop
+	pendDyn   []machine.RegionDyn
+	pendFrom  int
+	pendN     int
+	pendSalt  uint32
+	// kernDyn is the specialized loop kernels' per-iteration dyn
+	// buffer (kernels.go), separate from the pending-region buffers.
+	kernDyn []machine.RegionDyn
+
+	// Coverage counters for -vm-stats (kept out of Profile output).
+	fusedSteps  uint64
+	kernelHits  uint64
+	kernelIters uint64
+	statBase    uint64
+	execStats   *ExecStats
 }
 
 // New compiles a verified module and instantiates it on a fresh hart of
@@ -333,6 +361,12 @@ func (m *Machine) Run(name string, args ...uint64) (result uint64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if t, ok := r.(trap); ok {
+				// Charge the region prefix executed before the trap:
+				// every recorded uop completed its semantics, so the
+				// pending window is exactly the set the
+				// per-instruction path would have charged.
+				m.flushPending()
+				m.deferring = false
 				m.frames = m.frames[:savedFrames]
 				m.stackTop = savedStack
 				err = t
@@ -353,6 +387,17 @@ func (m *Machine) Run(name string, args ...uint64) (result uint64, err error) {
 func (m *Machine) call(fp *funcPlan, args []uint64) (uint64, []uint64) {
 	if fp.intrinsic != "" {
 		return m.intrinsicCall(fp.intrinsic, args), nil
+	}
+	// Superblock dispatch, except while an overflow sampler is armed:
+	// sampling needs block-granular event delivery anyway, so those
+	// activations run the per-instruction loop below unchanged (the
+	// same code path as MPERF_NO_SUPERBLOCK, hence trivially
+	// bit-identical) instead of paying for deferred charging that
+	// cannot be batched. The sampling state only changes between runs
+	// or inside an already-sampling run, so the choice is stable for
+	// the whole activation tree.
+	if m.fused && !m.hart.Core.SamplingActive() {
+		return m.callFused(fp, args)
 	}
 	if len(m.frames) >= maxCallDepth {
 		trapf("call depth exceeded in @%s", fp.fn.FName)
@@ -492,10 +537,19 @@ func (fr *frame) slot(reg int32) int32 {
 	return int32((uint32(reg) + fr.salt) & 0x3FF)
 }
 
-// emit charges one micro-op through the core model: the plan-time
-// prototype is copied, then only the frame-dependent slots and runtime
-// operands are patched.
+// emit charges one micro-op through the core model. On the superblock
+// path the charge is deferred: only the dynamic operands are recorded
+// (the static remainder lives in the region's charge template) and the
+// whole region is charged in one ExecRegion call at the next flush
+// point. Otherwise the plan-time prototype is copied and only the
+// frame-dependent slots and runtime operands are patched.
 func (m *Machine) emit(fr *frame, st *step, addr uint64, taken bool, target uint64) {
+	if m.deferring {
+		d := &m.pendDyn[m.pendFrom+m.pendN]
+		d.Addr, d.Taken, d.Target = addr, taken, target
+		m.pendN++
+		return
+	}
 	u := &m.uop
 	*u = st.proto
 	u.Dst = fr.slot(st.dst)

@@ -77,6 +77,13 @@ type phiMove struct {
 	lanes int
 }
 
+// loopKernel is a specialized executor for a recognized hot-loop
+// block shape (see kernels.go): it iterates the loop natively,
+// charging per-iteration region deltas, and returns the successor
+// block after performing the exit edge's phi moves — or nil to decline
+// at runtime and fall back to the generic region executor.
+type loopKernel func(m *Machine, fr *frame, bp *blockPlan) *blockPlan
+
 // blockPlan is a pre-decoded basic block.
 type blockPlan struct {
 	block *ir.Block
@@ -87,6 +94,18 @@ type blockPlan struct {
 	movesFrom [][]phiMove
 	// pc is the synthetic address of this block for sampling.
 	pc uint64
+
+	// Superblock execution (superblock.go): tmpl is the block's
+	// immutable charge template (uops carrying raw register ids,
+	// salted into scoreboard slots at charge time); chain is the
+	// maximal single-predecessor chain headed by this block; chainTmpl
+	// concatenates the chain's templates into one region template.
+	tmpl      []machine.Uop
+	chain     []*blockPlan
+	chainTmpl []machine.Uop
+	// kernel, when non-nil, is a specialized native executor for this
+	// block's recognized loop shape.
+	kernel loopKernel
 }
 
 // funcPlan is a pre-decoded function. Plans are immutable after
@@ -112,6 +131,7 @@ type planner struct {
 	plans    map[*ir.Func]*funcPlan
 	nextBase uint64
 	nextBrID uint32
+	cfg      compileConfig
 }
 
 // blockAddrStride spaces block PCs within a function's address range.
@@ -138,6 +158,18 @@ func (p *planner) planModule(mod *ir.Module) error {
 		}
 		if err := p.planFunc(f); err != nil {
 			return fmt.Errorf("vm: @%s: %w", f.FName, err)
+		}
+	}
+	if p.cfg.superblocks {
+		for _, f := range mod.Funcs {
+			if len(f.Blocks) == 0 {
+				continue
+			}
+			fp := p.plans[f]
+			buildRegions(fp)
+			if p.cfg.hotFuncs == nil || p.cfg.hotFuncs[f.FName] {
+				matchKernels(fp)
+			}
 		}
 	}
 	return nil

@@ -47,20 +47,31 @@ type Program struct {
 	// machine's dirty high-water mark, so a pooled instantiation is
 	// indistinguishable from a fresh allocation.
 	memPool sync.Pool
+
+	// superblocks records whether the plans carry fused regions;
+	// machines of this program dispatch region-at-a-time when set.
+	superblocks bool
 }
 
 // Compile verifies, freezes and plans a module into an immutable
 // Program. The module must not be mutated afterwards (ir.Freeze makes
-// the construction APIs enforce this).
-func Compile(mod *ir.Module) (*Program, error) {
+// the construction APIs enforce this). With no options, superblock
+// fusion follows the MPERF_NO_SUPERBLOCK environment default; see
+// WithSuperblocks and WithHotFuncs.
+func Compile(mod *ir.Module, opts ...CompileOption) (*Program, error) {
+	cfg := compileConfig{superblocks: SuperblocksEnabled()}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if err := ir.Verify(mod); err != nil {
 		return nil, fmt.Errorf("vm: module does not verify: %w", err)
 	}
 	mod.Freeze()
 	p := &Program{
-		mod:        mod,
-		globalAddr: make(map[string]uint64),
-		plans:      make(map[*ir.Func]*funcPlan),
+		mod:         mod,
+		globalAddr:  make(map[string]uint64),
+		plans:       make(map[*ir.Func]*funcPlan),
+		superblocks: cfg.superblocks,
 	}
 
 	// Lay out globals then the alloca stack.
@@ -73,7 +84,7 @@ func Compile(mod *ir.Module) (*Program, error) {
 	p.stackBase = align(addr, 64)
 	p.memSize = p.stackBase + stackSize
 
-	pl := &planner{prog: p, plans: p.plans, nextBase: 0x400000}
+	pl := &planner{prog: p, plans: p.plans, nextBase: 0x400000, cfg: cfg}
 	if err := pl.planModule(mod); err != nil {
 		return nil, err
 	}
@@ -92,6 +103,10 @@ func Compile(mod *ir.Module) (*Program, error) {
 
 // Module returns the frozen module the program was compiled from.
 func (p *Program) Module() *ir.Module { return p.mod }
+
+// Superblocks reports whether this program was compiled with
+// superblock fusion (its machines execute region-at-a-time).
+func (p *Program) Superblocks() bool { return p.superblocks }
 
 // GlobalAddr returns the load address of a global; the layout is a
 // program-level constant shared by every machine.
@@ -136,6 +151,7 @@ func NewMachine(p *Program, plat *platform.Platform) *Machine {
 		vlenBytes: plat.Core.VectorLanes32 * 4,
 	}
 	m.kern = kernel.New(m.hart.Firmware, m)
+	m.fused = p.superblocks
 
 	memRef := p.memPool.Get().(*[]byte)
 	m.memRef = memRef
@@ -159,6 +175,7 @@ func (m *Machine) Release() {
 	if m.mem == nil {
 		return
 	}
+	m.FlushExecStats()
 	hi := m.dirtyHigh
 	if hi > uint64(len(m.mem)) {
 		hi = uint64(len(m.mem))

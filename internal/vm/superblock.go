@@ -1,0 +1,316 @@
+package vm
+
+import (
+	"os"
+	"sync/atomic"
+
+	"mperf/internal/ir"
+	"mperf/internal/machine"
+)
+
+// This file implements superblock execution: straight-line regions —
+// basic blocks and single-predecessor chains of unconditionally linked
+// blocks — are fused at plan time into immutable charge templates, and
+// the dispatch loop charges each region through one
+// machine.Core.ExecRegion call instead of one Core.Exec call per
+// instruction. Instruction semantics still run through the pre-bound
+// step executors; emit records each uop's dynamic operands (address,
+// branch outcome, indirect target) into a pending buffer that is
+// flushed at region exits, before calls and intrinsics (whose runtimes
+// read the cycle clock), at returns, and on traps — so the charge
+// sequence seen by the core is exactly the per-instruction sequence.
+//
+// While an overflow sampler is armed, block-granular event delivery is
+// preserved (samples attribute to block PCs), so profiles are
+// bit-identical to the per-instruction path in every collector mode;
+// TestSuperblockInvariance pins this across the workload catalog.
+
+// codegenVersion identifies the VM's plan/execution scheme. It is part
+// of CodegenTag, which callers caching compiled Programs must fold
+// into their cache keys so artifacts are never reused across codegen
+// changes.
+const codegenVersion = 2
+
+// noSuperblockEnv is the escape hatch: setting it (to any non-empty
+// value) makes Compile default to the per-instruction path, keeping it
+// alive for differential testing.
+const noSuperblockEnv = "MPERF_NO_SUPERBLOCK"
+
+// SuperblocksEnabled reports the compile-time default for superblock
+// execution: on, unless the MPERF_NO_SUPERBLOCK environment variable
+// is set.
+func SuperblocksEnabled() bool {
+	return os.Getenv(noSuperblockEnv) == ""
+}
+
+// CodegenTag returns the cache-key component describing the VM
+// codegen that Compile would use right now (version plus the
+// superblock default). Program caches must include it in their keys.
+func CodegenTag() string {
+	return codegenTag(SuperblocksEnabled())
+}
+
+func codegenTag(superblocks bool) string {
+	if superblocks {
+		return "cg2+sb"
+	}
+	return "cg2"
+}
+
+// compileConfig collects Compile's functional options.
+type compileConfig struct {
+	superblocks bool
+	// hotFuncs, when non-nil, restricts specialized loop-kernel
+	// matching to the named functions (the profile-guided re-planning
+	// hook); nil means every function is a candidate.
+	hotFuncs map[string]bool
+}
+
+// CompileOption configures Compile.
+type CompileOption func(*compileConfig)
+
+// WithSuperblocks overrides the environment-driven superblock default
+// for one compile, keeping both codegen paths reachable in-process for
+// differential tests.
+func WithSuperblocks(on bool) CompileOption {
+	return func(c *compileConfig) { c.superblocks = on }
+}
+
+// WithHotFuncs restricts specialized loop-kernel matching to the named
+// functions. It is the profile-guided re-planning hook: a caller that
+// has sampled an earlier run can recompile with only the hot functions
+// listed, focusing specialization where the simulator's own hotspot
+// data says it pays. Superblock fusion itself is unaffected (it is
+// uniformly cheap). With no names, specialization is disabled
+// entirely; without this option every function is a candidate.
+func WithHotFuncs(names ...string) CompileOption {
+	return func(c *compileConfig) {
+		c.hotFuncs = make(map[string]bool, len(names))
+		for _, n := range names {
+			c.hotFuncs[n] = true
+		}
+	}
+}
+
+// ExecStats aggregates superblock coverage counters across machines —
+// how much of the executed instruction stream ran fused and how often
+// specialized loop kernels hit. Machines flush into it on Release (and
+// on FlushExecStats); it is safe for concurrent use. Coverage is
+// deliberately kept out of Profile output so fused and per-instruction
+// runs stay bit-identical.
+type ExecStats struct {
+	// TotalSteps counts interpreted IR instructions.
+	TotalSteps atomic.Uint64
+	// FusedSteps counts instructions executed through superblock
+	// regions (charge batched via ExecRegion).
+	FusedSteps atomic.Uint64
+	// KernelHits counts entries into specialized loop kernels.
+	KernelHits atomic.Uint64
+	// KernelIters counts loop iterations executed by specialized
+	// kernels.
+	KernelIters atomic.Uint64
+}
+
+// SetExecStats installs a coverage accumulator the machine flushes
+// into on Release (or FlushExecStats).
+func (m *Machine) SetExecStats(st *ExecStats) { m.execStats = st }
+
+// FlushExecStats adds the machine's coverage counters into the
+// installed accumulator and zeroes them.
+func (m *Machine) FlushExecStats() {
+	if m.execStats == nil {
+		return
+	}
+	m.execStats.TotalSteps.Add(m.steps - m.statBase)
+	m.execStats.FusedSteps.Add(m.fusedSteps)
+	m.execStats.KernelHits.Add(m.kernelHits)
+	m.execStats.KernelIters.Add(m.kernelIters)
+	m.statBase = m.steps
+	m.fusedSteps, m.kernelHits, m.kernelIters = 0, 0, 0
+}
+
+// buildRegions fuses a planned function's blocks into superblocks:
+// every block gets an immutable charge template (raw register ids;
+// salted into scoreboard slots at charge time), and every block heads
+// a maximal chain through unconditional branches into
+// single-predecessor successors — a straight-line region with no side
+// entries, charged as one unit.
+func buildRegions(fp *funcPlan) {
+	for _, bp := range fp.blocks {
+		bp.tmpl = make([]machine.Uop, len(bp.steps))
+		for i := range bp.steps {
+			st := &bp.steps[i]
+			u := st.proto
+			u.Dst = st.dst
+			u.Src1, u.Src2, u.Src3 = st.srcRegs[0], st.srcRegs[1], st.srcRegs[2]
+			bp.tmpl[i] = u
+		}
+	}
+
+	preds := make([]int, len(fp.blocks))
+	preds[fp.entry.index]++ // the function-entry edge
+	for _, bp := range fp.blocks {
+		term := &bp.steps[len(bp.steps)-1]
+		for _, tgt := range term.targets {
+			preds[tgt.index]++
+		}
+	}
+
+	for _, bp := range fp.blocks {
+		chain := []*blockPlan{bp}
+		cur := bp
+		for {
+			term := &cur.steps[len(cur.steps)-1]
+			if term.in.Op != ir.OpBr {
+				break
+			}
+			nxt := term.targets[0]
+			if nxt == cur || nxt == fp.entry || preds[nxt.index] != 1 {
+				break
+			}
+			// Guard against cycles of dead single-predecessor blocks.
+			if chainContains(chain, nxt) {
+				break
+			}
+			chain = append(chain, nxt)
+			cur = nxt
+		}
+		bp.chain = chain
+		if len(chain) == 1 {
+			bp.chainTmpl = bp.tmpl
+			continue
+		}
+		n := 0
+		for _, cb := range chain {
+			n += len(cb.tmpl)
+		}
+		ct := make([]machine.Uop, 0, n)
+		for _, cb := range chain {
+			ct = append(ct, cb.tmpl...)
+		}
+		bp.chainTmpl = ct
+	}
+}
+
+func chainContains(chain []*blockPlan, bp *blockPlan) bool {
+	for _, cb := range chain {
+		if cb == bp {
+			return true
+		}
+	}
+	return false
+}
+
+// flushPending charges the deferred uops of the current region through
+// the core in one call and advances the flush cursor. It is called at
+// region exits, before calls (so callee-side clock reads and charges
+// interleave exactly like the per-instruction path), per block while
+// sampling, and from Run's trap recovery (the pending prefix is
+// exactly the set the per-instruction path would have charged before
+// the trap).
+func (m *Machine) flushPending() {
+	if m.pendN == 0 {
+		return
+	}
+	n := m.pendFrom + m.pendN
+	m.hart.Core.ExecRegion(m.pendTmpl[m.pendFrom:n], m.pendDyn[m.pendFrom:n], m.pendSalt)
+	m.pendFrom, m.pendN = n, 0
+}
+
+// callFused is the superblock counterpart of Machine.call: one
+// activation executed region-at-a-time, with charges deferred into the
+// pending buffers and batched through one ExecRegion call per region.
+// It is only entered while no overflow sampler is armed (call routes
+// sampling activations through the per-instruction loop), so block-edge
+// event flushes may be coalesced to region granularity: without an
+// armed sampler, event delivery is pure accumulation and the coalesced
+// totals are bit-identical. Per-block step budgeting is preserved
+// exactly.
+func (m *Machine) callFused(fp *funcPlan, args []uint64) (uint64, []uint64) {
+	if len(m.frames) >= maxCallDepth {
+		trapf("call depth exceeded in @%s", fp.fn.FName)
+	}
+	m.frameSeq++
+	var fr *frame
+	if pool := m.framePools[fp.index]; len(pool) > 0 {
+		fr = pool[len(pool)-1]
+		m.framePools[fp.index] = pool[:len(pool)-1]
+	} else {
+		fr = &frame{
+			fp:    fp,
+			regs:  make([]uint64, fp.numRegs),
+			vregs: make([][]uint64, fp.numRegs),
+		}
+	}
+	fr.salt = m.frameSeq * 251
+	fr.stackSave = m.stackTop
+	fr.curPC = fp.base
+	fr.retVal, fr.retVec = 0, nil
+	copy(fr.regs, args)
+	m.frames = append(m.frames, fr)
+
+	core := m.hart.Core
+	savedDeferring := m.deferring
+	m.deferring = true
+
+	bp := fp.entry
+	for {
+		if kern := bp.kernel; kern != nil {
+			if next := kern(m, fr, bp); next != nil {
+				if next == retMarker {
+					break
+				}
+				bp = next
+				continue
+			}
+			// Kernel declined (shape guard failed at runtime); fall
+			// through to the generic region executor.
+		}
+		chain := bp.chain
+		if len(m.pendDyn) < len(bp.chainTmpl) {
+			m.pendDyn = make([]machine.RegionDyn, len(bp.chainTmpl)+64)
+		}
+		m.pendTmpl = bp.chainTmpl
+		m.pendFrom, m.pendN = 0, 0
+		m.pendSalt = fr.salt
+
+		var next *blockPlan
+		for _, cb := range chain {
+			m.steps += uint64(len(cb.steps))
+			if m.steps > m.MaxSteps {
+				trapf("step budget exceeded (%d)", m.MaxSteps)
+			}
+			m.fusedSteps += uint64(len(cb.steps))
+			fr.curPC = cb.pc
+
+			steps := cb.steps
+			next = nil
+			for i := range steps {
+				st := &steps[i]
+				if next = st.exec(m, fr, st); next != nil {
+					break
+				}
+			}
+			if next == nil {
+				trapf("block %s fell through without terminator", cb.block.BName)
+			}
+			if next == retMarker {
+				break
+			}
+		}
+		m.flushPending()
+		if next == retMarker {
+			break
+		}
+		bp = next
+	}
+
+	// Deliver batched deltas before control leaves the frame, so
+	// callers (and post-run counter reads) see settled values.
+	core.FlushEvents()
+	m.deferring = savedDeferring
+	m.frames = m.frames[:len(m.frames)-1]
+	m.stackTop = fr.stackSave
+	m.framePools[fp.index] = append(m.framePools[fp.index], fr)
+	return fr.retVal, fr.retVec
+}

@@ -24,6 +24,11 @@ type ProgramKey struct {
 	Lanes   int
 	// Instrument records whether the roofline instrumentation pass ran.
 	Instrument bool
+	// Codegen is the VM's codegen tag (vm.CodegenTag()): plan scheme
+	// version plus the superblock-fusion flag. Folding it into the key
+	// guarantees a cached program is never reused across a codegen
+	// change or an MPERF_NO_SUPERBLOCK toggle.
+	Codegen string
 }
 
 // CompileStats counts compiles against cache hits, making the

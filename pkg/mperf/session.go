@@ -83,6 +83,7 @@ type config struct {
 	sampleFreq uint64
 	statEvents []string
 	cache      *ProgramCache
+	execStats  *vm.ExecStats
 }
 
 // Option configures a Session at Open time.
@@ -129,6 +130,19 @@ func WithProgramCache(cache *ProgramCache) Option {
 	return func(c *config) { c.cache = cache }
 }
 
+// ExecStats aliases the VM's superblock coverage accumulator so
+// callers (miniperf -vm-stats) need not import internal packages.
+type ExecStats = vm.ExecStats
+
+// WithExecStats installs a VM coverage accumulator on every machine
+// the session instantiates: superblock/kernel execution counters flush
+// into it when collectors release their machines. The counters are
+// diagnostic only (miniperf -vm-stats) and never enter a Profile, so
+// profiles stay identical with and without an accumulator installed.
+func WithExecStats(st *vm.ExecStats) Option {
+	return func(c *config) { c.execStats = st }
+}
+
 // Session is one platform × workload binding, ready to run collectors.
 type Session struct {
 	plat       *platform.Platform
@@ -138,6 +152,7 @@ type Session struct {
 	sampleFreq uint64
 	statEvents []isa.EventCode
 	statLabels []string
+	execStats  *vm.ExecStats
 
 	// compiled/hits track this session's traffic through the program
 	// cache; Session.Run reports the per-run delta as CompileStats.
@@ -165,7 +180,8 @@ func Open(platformName, workloadName string, opts ...Option) (*Session, error) {
 	if cache == nil {
 		cache = defaultProgramCache
 	}
-	s := &Session{plat: plat, spec: spec, params: cfg.params, cache: cache, sampleFreq: cfg.sampleFreq}
+	s := &Session{plat: plat, spec: spec, params: cfg.params, cache: cache,
+		sampleFreq: cfg.sampleFreq, execStats: cfg.execStats}
 	names := cfg.statEvents
 	if len(names) == 0 {
 		names = defaultStatEvents
@@ -217,7 +233,11 @@ func (s *Session) NewOptimizedMachine(instrument bool) (*vm.Machine, error) {
 
 // ProgramKey returns the cache key of the session's build flavor.
 func (s *Session) ProgramKey(optimize, instrument bool) ProgramKey {
-	key := ProgramKey{Workload: s.spec.Name, Params: s.params.Fingerprint()}
+	key := ProgramKey{
+		Workload: s.spec.Name,
+		Params:   s.params.Fingerprint(),
+		Codegen:  vm.CodegenTag(),
+	}
 	if optimize {
 		key.Profile = s.plat.VectorizerProfile
 		key.Lanes = s.plat.Core.VectorLanes32
@@ -260,7 +280,11 @@ func (s *Session) instantiate(optimize, instrument bool) (*vm.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return vm.NewMachine(prog, s.plat), nil
+	m := vm.NewMachine(prog, s.plat)
+	if s.execStats != nil {
+		m.SetExecStats(s.execStats)
+	}
+	return m, nil
 }
 
 // Run executes each collector over a coordinated execution of the

@@ -1,0 +1,154 @@
+package mperf_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mperf/internal/workloads"
+	"mperf/pkg/mperf"
+)
+
+// catalogSession opens a session for one catalog workload with small,
+// fully pinned parameters plus a sampling frequency high enough that
+// the record collector fires plenty of overflow samples.
+func catalogSession(t *testing.T, name string, opts ...mperf.Option) *mperf.Session {
+	t.Helper()
+	opts = append([]mperf.Option{
+		mperf.WithElems(4096), mperf.WithMemsetWords(4096),
+		mperf.WithMatmulSize(24, 8),
+		mperf.WithSqliteConfig(workloads.SqliteConfig{
+			ProgLen: 24, Rows: 8, Queries: 2, CellArea: 256, TextArea: 256, PatLen: 4,
+		}),
+		mperf.WithSampleFreq(40_000),
+	}, opts...)
+	sess, err := mperf.Open("x60", name, opts...)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return sess
+}
+
+// catalogProfileJSON runs every collector mode over one workload and
+// returns the canonical Profile JSON, with the compile accounting
+// (which legitimately differs between cold and warm caches) stripped.
+func catalogProfileJSON(t *testing.T, name string) []byte {
+	t.Helper()
+	sess := catalogSession(t, name, mperf.WithProgramCache(mperf.NewProgramCache()))
+	prof, err := sess.Run(mperf.MustCollectors("stat", "record", "roofline", "topdown")...)
+	if err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	if err := prof.Err(); err != nil {
+		t.Fatalf("%s: collector errors: %v", name, err)
+	}
+	prof.CompileStats = nil
+	b, err := json.Marshal(prof)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", name, err)
+	}
+	return b
+}
+
+// TestSuperblockInvariance is the differential acceptance check of the
+// superblock executor: for every workload in the catalog, a run with
+// superblocks fused must produce bit-identical Profile JSON to a run
+// on the per-instruction path — across counting (stat), overflow
+// sampling (record), roofline and topdown collection.
+func TestSuperblockInvariance(t *testing.T) {
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Setenv("MPERF_NO_SUPERBLOCK", "")
+			fused := catalogProfileJSON(t, name)
+			t.Setenv("MPERF_NO_SUPERBLOCK", "1")
+			unfused := catalogProfileJSON(t, name)
+			if string(fused) != string(unfused) {
+				t.Errorf("profiles diverge between superblock and per-instruction execution\nfused:   %s\nunfused: %s",
+					fused, unfused)
+			}
+		})
+	}
+}
+
+// TestProgramKeyCodegen pins that the plan key is versioned by the VM
+// codegen: toggling the superblock escape hatch must change the key,
+// so a cached artifact can never be reused across codegen modes.
+func TestProgramKeyCodegen(t *testing.T) {
+	t.Setenv("MPERF_NO_SUPERBLOCK", "")
+	on := catalogSession(t, "dot").ProgramKey(false, false)
+	if on.Codegen != "cg2+sb" {
+		t.Errorf("fused codegen tag = %q, want cg2+sb", on.Codegen)
+	}
+	t.Setenv("MPERF_NO_SUPERBLOCK", "1")
+	off := catalogSession(t, "dot").ProgramKey(false, false)
+	if off.Codegen != "cg2" {
+		t.Errorf("per-instruction codegen tag = %q, want cg2", off.Codegen)
+	}
+	if on == off {
+		t.Errorf("plan keys collide across codegen modes: %+v", on)
+	}
+}
+
+// TestExecStatsCoverage checks the -vm-stats plumbing: with superblocks
+// on, the session-level accumulator reports fused coverage after the
+// collectors release their machines, and none of it leaks into the
+// Profile JSON (the invariance test above pins the latter bit-exactly).
+func TestExecStatsCoverage(t *testing.T) {
+	t.Setenv("MPERF_NO_SUPERBLOCK", "")
+	var st mperf.ExecStats
+	sess := catalogSession(t, "dot",
+		mperf.WithProgramCache(mperf.NewProgramCache()), mperf.WithExecStats(&st))
+	prof, err := sess.Run(mperf.MustCollectors("stat")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prof.Err(); err != nil {
+		t.Fatal(err)
+	}
+	total, fusedN := st.TotalSteps.Load(), st.FusedSteps.Load()
+	if total == 0 || fusedN == 0 {
+		t.Fatalf("coverage counters empty: total=%d fused=%d", total, fusedN)
+	}
+	if fusedN > total {
+		t.Fatalf("fused steps %d exceed total %d", fusedN, total)
+	}
+	if fusedN*10 < total*9 {
+		t.Errorf("fused coverage %d/%d below 90%%", fusedN, total)
+	}
+	b, err := json.Marshal(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"fused", "vm_stats", "exec_stats"} {
+		if strings.Contains(string(b), needle) {
+			t.Errorf("profile JSON leaks %q: %s", needle, b)
+		}
+	}
+}
+
+// TestKernelCoverage pins that the specialized loop kernels actually
+// engage on the streaming and matmul workloads — their hot self-loops
+// are exactly the shapes the matcher exists for, so a silent decline
+// (vocabulary drift, phi-copy hazard) fails loudly here rather than
+// showing up only as a benchmark regression.
+func TestKernelCoverage(t *testing.T) {
+	t.Setenv("MPERF_NO_SUPERBLOCK", "")
+	for _, name := range []string{"triad", "memset", "matmul"} {
+		t.Run(name, func(t *testing.T) {
+			var st mperf.ExecStats
+			sess := catalogSession(t, name,
+				mperf.WithProgramCache(mperf.NewProgramCache()), mperf.WithExecStats(&st))
+			prof, err := sess.Run(mperf.MustCollectors("stat")...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := prof.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if hits, iters := st.KernelHits.Load(), st.KernelIters.Load(); hits == 0 || iters == 0 {
+				t.Errorf("specialized kernels never engaged: hits=%d iters=%d (total=%d fused=%d)",
+					hits, iters, st.TotalSteps.Load(), st.FusedSteps.Load())
+			}
+		})
+	}
+}

@@ -1,12 +1,12 @@
 #!/bin/sh
-# Regenerate BENCH_PR6.json: run the four headline benchmarks (one per
+# Regenerate BENCH_PR8.json: run the four headline benchmarks (one per
 # reproduced table/figure plus the memset roof input), the PR3
-# program-cache trajectory benches (cold compile vs warm instantiation
-# vs warm matrix sweep), and the PR6 daemon load bench (200 concurrent
-# HTTP clients against a warm mperfd), and record ns/op, the reproduced
-# paper metrics, and the speedup/metric drift against the recorded
-# pre-PR2 baseline (scripts/baseline_pr2.json; the cache and daemon
-# benches are newer and have no baseline entry).
+# program-cache trajectory benches, the PR6 daemon load bench (200
+# concurrent HTTP clients against a warm mperfd), and the PR8
+# superblock micro-benches (fused vs per-instruction hot-loop
+# dispatch), and record ns/op, the reproduced paper metrics, and the
+# speedup/metric drift against the recorded PR3 run (BENCH_PR3.json;
+# benches newer than PR3 have no baseline entry).
 #
 # The daemon bench runs at a fixed iteration count so its cache-hit-rate
 # metric reflects steady-state serving, not a two-request sample.
@@ -19,12 +19,14 @@ BENCHTIME="${1:-2x}"
 HEADLINE='BenchmarkTable2_SqliteHotspots|BenchmarkFigure3_FlameGraphs|BenchmarkFigure4_Roofline|BenchmarkMemsetBandwidth'
 CACHE='BenchmarkCompileProgram|BenchmarkInstantiate|BenchmarkMatrixWarm'
 DAEMON='BenchmarkDaemonConcurrentProfiles'
+SUPERBLOCK='BenchmarkSuperblockMatmul|BenchmarkSuperblockTriad|BenchmarkSuperblockSqlite'
 
 {
 	go test -run '^$' -bench "$HEADLINE|$CACHE" -benchtime "$BENCHTIME" .
 	go test -run '^$' -bench "$DAEMON" -benchtime 100x .
+	go test -run '^$' -bench "$SUPERBLOCK" -benchtime 2s .
 } |
 	tee /dev/stderr |
-	go run ./cmd/benchjson -baseline scripts/baseline_pr2.json > BENCH_PR6.json
+	go run ./cmd/benchjson -baseline BENCH_PR3.json > BENCH_PR8.json
 
-echo "wrote BENCH_PR6.json" >&2
+echo "wrote BENCH_PR8.json" >&2
