@@ -13,9 +13,9 @@ test:
 vet:
 	$(GO) vet ./...
 
-# bench regenerates BENCH_PR3.json (headline benches + program-cache
-# trajectory benches, ns/op + the reproduced paper metrics, compared
-# against the recorded baseline).
+# bench regenerates BENCH_PR9.json (headline, program-cache, daemon,
+# superblock and artifact-store benches, ns/op + the reproduced paper
+# metrics, compared against the recorded PR 8 baseline).
 bench:
 	sh scripts/bench.sh
 

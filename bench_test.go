@@ -6,7 +6,10 @@
 package mperf_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -605,4 +608,123 @@ func BenchmarkSuperblockSqlite(b *testing.B) {
 				}))
 		})
 	}
+}
+
+// --- Artifact store benches (PR 9) ---
+
+// BenchmarkColdVsWarmStart measures the tentpole claim of the
+// persistent artifact store: loading a serialized program (binary IR
+// decode + re-plan + image install, no workload build, no vectorizer
+// pipeline, no Seed execution, no re-verify) against the cold
+// BuildProgram pipeline for the same plan key. Reports the cold
+// compile time and the cold/warm ratio, and fails if the warm path
+// compiles anything or the speedup drops below the required 5x.
+func BenchmarkColdVsWarmStart(b *testing.B) {
+	params := workloads.Params{Sqlite: &workloads.SqliteConfig{
+		ProgLen: 64, Rows: 150, Queries: 3, CellArea: 4096, TextArea: 4096, PatLen: 6,
+	}}
+	spec, err := workloads.Lookup("sqlite", params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() (*vm.Program, error) {
+		return spec.BuildProgram(platform.X60(), false, false)
+	}
+
+	const coldIters = 5
+	coldStart := time.Now()
+	for i := 0; i < coldIters; i++ {
+		if _, err := build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cold := time.Since(coldStart) / coldIters
+
+	cache := mperf.NewProgramCache()
+	if err := cache.SetArtifactDir(b.TempDir()); err != nil {
+		b.Fatal(err)
+	}
+	key := mperf.ProgramKey{Workload: "sqlite", Params: params.Fingerprint(), Codegen: vm.CodegenTag()}
+	if _, _, err := cache.Get(key, build); err != nil {
+		b.Fatal(err) // populates the store
+	}
+	// One untimed warm-start so the timed loop never pays first-touch
+	// costs (page cache, allocator growth) in its first iteration.
+	cache.ResetMemory()
+	if _, src, err := cache.Get(key, build); err != nil || src != mperf.SourceDisk {
+		b.Fatalf("store warm-up failed: src=%v err=%v", src, err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.ResetMemory() // a fresh process pointed at the store
+		_, src, err := cache.Get(key, func() (*vm.Program, error) {
+			return nil, fmt.Errorf("warm start fell back to compiling")
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if src != mperf.SourceDisk {
+			b.Fatalf("warm start served from %v, want the disk store", src)
+		}
+	}
+	warm := b.Elapsed() / time.Duration(b.N)
+	if warm <= 0 {
+		return
+	}
+	speedup := float64(cold) / float64(warm)
+	b.ReportMetric(float64(cold.Nanoseconds()), "cold-compile-ns")
+	b.ReportMetric(speedup, "cold-vs-warm-x")
+	// The hard floor only applies to measured runs: the framework's
+	// N=1 gauge invocation times a single load, which is all noise.
+	if b.N >= 5 && speedup < 5 {
+		b.Fatalf("artifact load is only %.1fx faster than a cold compile, want >= 5x", speedup)
+	}
+}
+
+// BenchmarkShardedMatrix measures the sweep engine end to end: each
+// iteration materializes a 2-platform x 3-workload matrix as two
+// sequential shards into a fresh sweep directory and merges it,
+// asserting the merged report is byte-stable across iterations (the
+// property that lets shards run anywhere and still produce one
+// canonical artifact).
+func BenchmarkShardedMatrix(b *testing.B) {
+	spec := func() mperf.MatrixSpec {
+		return mperf.MatrixSpec{
+			Platforms:  []string{"x60", "i5"},
+			Workloads:  []string{"dot", "triad", "stencil"},
+			Collectors: []string{"stat"},
+			Options: []mperf.Option{
+				mperf.WithProgramCache(mperf.NewProgramCache()),
+				mperf.WithElems(1 << 12),
+				mperf.WithStatEvents("cycles", "instructions", "branches", "branch-misses"),
+			},
+		}
+	}
+	var canonical []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		for shard := 0; shard < 2; shard++ {
+			if _, err := mperf.RunSweep(context.Background(), spec(), mperf.SweepConfig{
+				Dir: dir, ShardIndex: shard, ShardCount: 2,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := mperf.MergeSweep(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		merged, err := json.Marshal(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if canonical == nil {
+			canonical = merged
+		} else if !bytes.Equal(canonical, merged) {
+			b.Fatal("merged sweep report is not byte-stable across runs")
+		}
+	}
+	b.ReportMetric(6, "cells-per-op")
 }

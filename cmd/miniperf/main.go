@@ -24,11 +24,24 @@
 //	    Run several collectors over one workload and emit the combined
 //	    profile as JSON.
 //	miniperf matrix   [-platforms all] [-workloads all] [-collectors stat]
-//	    Sweep platforms × workloads × collectors in parallel.
+//	    Sweep platforms × workloads × collectors in parallel. With
+//	    -sweep-dir the sweep instead materializes one JSON file per
+//	    cell into that directory; -shard i/n runs only the i-th of n
+//	    deterministic cell slices (each shard may be a separate
+//	    process or host sharing the directory) and -resume skips
+//	    cells already materialized, so an interrupted sweep finishes
+//	    where it left off.
+//	miniperf matrix-merge -sweep-dir DIR
+//	    Merge a completed sweep directory into the single report
+//	    RunMatrix would have produced, byte-stable across shardings.
 //
 // Every verb accepts -json to emit the machine-readable Profile
 // instead of the rendered text, and -cpuprofile/-memprofile to profile
-// the profiler itself with pprof.
+// the profiler itself with pprof. -cache-dir (or MPERF_CACHE_DIR)
+// attaches a persistent artifact store to the program cache: compiled
+// programs are serialized to disk and later invocations — including
+// other processes and sweep shards — load them back instead of
+// compiling.
 //
 // # Daemon use
 //
@@ -48,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -117,6 +131,41 @@ func emitJSON(v any) {
 	}
 }
 
+// parseShard parses the -shard flag: "" means the single shard 0/1,
+// otherwise "i/n" with 0 <= i < n.
+func parseShard(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &index, &count); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/2)", s)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: index must be in [0, n)", s)
+	}
+	return index, count, nil
+}
+
+// matrixTable renders sweep cells as the matrix verbs' shared table.
+func matrixTable(cells []mperf.MatrixCell) string {
+	t := report.NewTable("Matrix sweep", "Platform", "Workload", "IPC", "Samples", "Status")
+	for _, cell := range cells {
+		ipc, samples, status := "-", "-", "ok"
+		switch {
+		case cell.Error != "":
+			status = cell.Error
+		case cell.Profile != nil:
+			ipc = fmt.Sprintf("%.2f", cell.Profile.IPC)
+			samples = report.Grouped(uint64(cell.Profile.SampleCount))
+			if err := cell.Profile.Err(); err != nil {
+				status = err.Error()
+			}
+		}
+		t.AddRowCells(cell.Platform, cell.Workload, ipc, samples, status)
+	}
+	return t.String()
+}
+
 func splitList(s string) []string {
 	if s == "" || s == "all" {
 		return nil
@@ -133,7 +182,7 @@ func splitList(s string) []string {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: miniperf <platforms|workloads|stat|record|roofline|topdown|profile|matrix> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: miniperf <platforms|workloads|stat|record|roofline|topdown|profile|matrix|matrix-merge> [flags]")
 		os.Exit(2)
 	}
 	verb := os.Args[1]
@@ -150,6 +199,10 @@ func main() {
 	platforms := fs.String("platforms", "all", "matrix: comma-separated platforms, or all")
 	workloadList := fs.String("workloads", "all", "matrix: comma-separated workloads, or all")
 	parallel := fs.Int("parallel", 0, "matrix: worker pool size (0 = GOMAXPROCS)")
+	sweepDir := fs.String("sweep-dir", "", "matrix/matrix-merge: materialize per-cell JSON into this directory")
+	shard := fs.String("shard", "", "matrix: run only shard i of n, as i/n (requires -sweep-dir)")
+	resume := fs.Bool("resume", false, "matrix: skip cells already materialized in -sweep-dir")
+	cacheDir := fs.String("cache-dir", "", "persistent program artifact directory (default: $"+mperf.CacheDirEnv+")")
 	daemonMode := fs.String("daemon", "auto", "mperfd use: auto (use a daemon when one is up), off, or an explicit host:port")
 	requestTimeout := fs.Duration("request-timeout", 0, "daemon-side deadline for served requests (0 = daemon default)")
 	asJSON := fs.Bool("json", false, "emit the profile as JSON instead of rendered text")
@@ -179,6 +232,12 @@ func main() {
 	opts := []mperf.Option{
 		mperf.WithMatmulSize(*n, *tile),
 		mperf.WithSampleFreq(*freq),
+	}
+	if *cacheDir != "" {
+		// Attaches the artifact store to the default program cache (the
+		// one every session here compiles through); without the flag the
+		// cache honors MPERF_CACHE_DIR on its own.
+		opts = append(opts, mperf.WithArtifactDir(*cacheDir))
 	}
 	// -vm-stats: diagnostic coverage counters, printed to stderr on
 	// exit and deliberately kept out of Profile output (profiles stay
@@ -398,6 +457,43 @@ func main() {
 		}
 
 	case "matrix":
+		if *sweepDir != "" {
+			shardIdx, shardCnt, err := parseShard(*shard)
+			if err != nil {
+				fail(err)
+			}
+			// Sharded sweeps always run in-process: the point is to pin
+			// this process to a deterministic slice of cells, not to
+			// fan out through a daemon's queue. SIGINT stops between
+			// cells, leaving finished cells for a -resume run.
+			ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+			defer stopSignals()
+			rep, err := mperf.RunSweep(ctx, mperf.MatrixSpec{
+				Platforms:  splitList(*platforms),
+				Workloads:  splitList(*workloadList),
+				Collectors: collectorNames,
+				Options:    opts,
+			}, mperf.SweepConfig{
+				Dir: *sweepDir, ShardIndex: shardIdx, ShardCount: shardCnt, Resume: *resume,
+			})
+			if err != nil {
+				if rep != nil && rep.Ran > 0 {
+					fmt.Fprintf(os.Stderr, "miniperf: sweep interrupted with %d cells materialized; rerun with -resume\n", rep.Ran)
+				}
+				fail(err)
+			}
+			if *asJSON {
+				emitJSON(rep)
+				return
+			}
+			fmt.Printf("sweep %s: %d cells total, shard ran %d, resumed %d\n",
+				rep.Dir, rep.Total, rep.Ran, rep.Resumed)
+			fmt.Printf("programs: %s\n", mperf.DefaultProgramCache().Stats())
+			return
+		}
+		if *shard != "" || *resume {
+			fail(fmt.Errorf("-shard and -resume require -sweep-dir"))
+		}
 		var cells []mperf.MatrixCell
 		var cacheStats mperf.CacheStats
 		served := false
@@ -442,23 +538,22 @@ func main() {
 			// counters, the same numbers /v1/stats serves.
 			cells, cacheStats = res.Cells, mperf.DefaultProgramCache().Stats()
 		}
-		t := report.NewTable("Matrix sweep", "Platform", "Workload", "IPC", "Samples", "Status")
-		for _, cell := range cells {
-			ipc, samples, status := "-", "-", "ok"
-			switch {
-			case cell.Error != "":
-				status = cell.Error
-			case cell.Profile != nil:
-				ipc = fmt.Sprintf("%.2f", cell.Profile.IPC)
-				samples = report.Grouped(uint64(cell.Profile.SampleCount))
-				if err := cell.Profile.Err(); err != nil {
-					status = err.Error()
-				}
-			}
-			t.AddRowCells(cell.Platform, cell.Workload, ipc, samples, status)
-		}
-		fmt.Println(t.String())
+		fmt.Println(matrixTable(cells))
 		fmt.Printf("programs: %s (hit rate %.0f%%)\n", cacheStats, 100*cacheStats.HitRate())
+
+	case "matrix-merge":
+		if *sweepDir == "" {
+			fail(fmt.Errorf("matrix-merge requires -sweep-dir"))
+		}
+		res, err := mperf.MergeSweep(*sweepDir)
+		if err != nil {
+			fail(err)
+		}
+		if *asJSON {
+			emitJSON(res)
+			return
+		}
+		fmt.Println(matrixTable(res.Cells))
 
 	default:
 		stopProfiles()

@@ -5,7 +5,8 @@
 //
 //	mperfd serve [-addr 127.0.0.1:7421] [-workers N] [-queue N]
 //	             [-addrfile PATH] [-stdio] [-deadline D] [-max-deadline D]
-//	             [-session-inflight N] [-session-rps R] [-chaos SPEC]
+//	             [-session-inflight N] [-session-rps R] [-cache-dir DIR]
+//	             [-chaos SPEC]
 //
 // serve listens on -addr with the HTTP JSON API (see pkg/mperfd for
 // the endpoints) and, with -stdio, additionally serves the
@@ -16,7 +17,9 @@
 // -deadline/-max-deadline set the server-enforced request deadline
 // and the cap on per-request overrides; -session-inflight and
 // -session-rps bound each client session's concurrency and request
-// rate. -chaos arms fault-injection points ("point[:N][=DELAY]",
+// rate. -cache-dir (or MPERF_CACHE_DIR) attaches a persistent program
+// artifact store, so a restarted daemon skips recompiling everything
+// it had ever compiled. -chaos arms fault-injection points ("point[:N][=DELAY]",
 // comma-separated; see pkg/mperf/faultinject) so the chaos test
 // harness and CI can break a live daemon on purpose.
 //
@@ -37,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"mperf/pkg/mperf"
 	"mperf/pkg/mperf/faultinject"
 	"mperf/pkg/mperfd"
 )
@@ -65,6 +69,7 @@ func main() {
 	maxDeadline := fs.Duration("max-deadline", 0, "cap on per-request deadline overrides (0 = default)")
 	sessInFlight := fs.Int("session-inflight", 0, "per-session in-flight request quota (0 = unlimited)")
 	sessRPS := fs.Float64("session-rps", 0, "per-session request rate limit in requests/second (0 = unlimited)")
+	cacheDir := fs.String("cache-dir", "", "persistent program artifact directory (default: $"+mperf.CacheDirEnv+")")
 	chaos := fs.String("chaos", "", "arm fault injection points, e.g. collector.panic:1,conn.drop (testing only)")
 	fs.Parse(args)
 
@@ -76,6 +81,17 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "mperfd: CHAOS MODE: armed fault points %v\n", faultinject.ArmedPoints())
+	}
+	if *cacheDir != "" {
+		// The daemon compiles through the process-wide default cache
+		// (Config.Cache is left nil below); attaching the artifact
+		// directory there makes every served compile persistent, so a
+		// restarted daemon boots warm. Without the flag, MPERF_CACHE_DIR
+		// is honored by the cache itself.
+		if err := mperf.DefaultProgramCache().SetArtifactDir(*cacheDir); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mperfd: artifact cache at %s\n", *cacheDir)
 	}
 
 	srv := mperfd.New(mperfd.Config{

@@ -51,6 +51,11 @@ type Program struct {
 	// superblocks records whether the plans carry fused regions;
 	// machines of this program dispatch region-at-a-time when set.
 	superblocks bool
+
+	// hotFuncs records the compile's hot-function restriction in
+	// canonical sorted order (nil = unrestricted), so the artifact
+	// encoder can serialize the exact configuration for re-planning.
+	hotFuncs []string
 }
 
 // Compile verifies, freezes and plans a module into an immutable
@@ -63,8 +68,19 @@ func Compile(mod *ir.Module, opts ...CompileOption) (*Program, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if err := ir.Verify(mod); err != nil {
-		return nil, fmt.Errorf("vm: module does not verify: %w", err)
+	return compileModule(mod, cfg, true)
+}
+
+// compileModule is the shared planning path behind Compile and
+// DecodeArtifact. verify gates the structural SSA check: fresh modules
+// always verify, while checksummed artifacts decode from bytes the
+// encoder produced only for already-verified modules, so re-planning
+// them skips straight to layout and plan binding.
+func compileModule(mod *ir.Module, cfg compileConfig, verify bool) (*Program, error) {
+	if verify {
+		if err := ir.Verify(mod); err != nil {
+			return nil, fmt.Errorf("vm: module does not verify: %w", err)
+		}
 	}
 	mod.Freeze()
 	p := &Program{
@@ -72,6 +88,7 @@ func Compile(mod *ir.Module, opts ...CompileOption) (*Program, error) {
 		globalAddr:  make(map[string]uint64),
 		plans:       make(map[*ir.Func]*funcPlan),
 		superblocks: cfg.superblocks,
+		hotFuncs:    sortedHotFuncs(&cfg),
 	}
 
 	// Lay out globals then the alloca stack.

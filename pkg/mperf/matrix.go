@@ -1,12 +1,8 @@
 package mperf
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
-
-	"mperf/internal/platform"
-	"mperf/internal/workloads"
 )
 
 // MatrixSpec describes a platforms × workloads sweep: every cell runs
@@ -108,30 +104,9 @@ func Parallel(parallelism int, tasks ...func() error) error {
 // the sweep is warm instantiation; per-cell Profile.CompileStats
 // records the split.
 func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
-	plats := spec.Platforms
-	if len(plats) == 0 {
-		plats = platform.Names()
-	}
-	wls := spec.Workloads
-	if len(wls) == 0 {
-		wls = workloads.Names()
-	}
-	cols := spec.Collectors
-	if len(cols) == 0 {
-		cols = CollectorNames()
-	}
 	// Validate every name before spending any simulation time.
-	for _, p := range plats {
-		if _, err := platform.Lookup(p); err != nil {
-			return nil, fmt.Errorf("mperf: %w", err)
-		}
-	}
-	for _, w := range wls {
-		if _, err := workloads.Lookup(w, workloads.Params{}); err != nil {
-			return nil, fmt.Errorf("mperf: %w", err)
-		}
-	}
-	if _, err := Collectors(cols...); err != nil {
+	plats, wls, cols, err := resolveMatrix(spec)
+	if err != nil {
 		return nil, err
 	}
 
@@ -148,22 +123,7 @@ func RunMatrix(spec MatrixSpec) (*MatrixResult, error) {
 		tasks[i] = func() error {
 			// Each cell gets its own session and collector instances:
 			// nothing is shared across goroutines but the immutable spec.
-			cs, err := Collectors(cols...)
-			if err != nil {
-				cell.Error = err.Error()
-				return nil
-			}
-			sess, err := Open(cell.Platform, cell.Workload, spec.Options...)
-			if err != nil {
-				cell.Error = err.Error()
-				return nil
-			}
-			prof, err := sess.Run(cs...)
-			if err != nil {
-				cell.Error = err.Error()
-				return nil
-			}
-			cell.Profile = prof
+			runMatrixCell(cell, cols, spec.Options)
 			return nil
 		}
 	}

@@ -79,11 +79,12 @@ var defaultStatEvents = []string{
 
 // config collects the functional options before Open validates them.
 type config struct {
-	params     workloads.Params
-	sampleFreq uint64
-	statEvents []string
-	cache      *ProgramCache
-	execStats  *vm.ExecStats
+	params      workloads.Params
+	sampleFreq  uint64
+	statEvents  []string
+	cache       *ProgramCache
+	execStats   *vm.ExecStats
+	artifactDir *string
 }
 
 // Option configures a Session at Open time.
@@ -130,6 +131,18 @@ func WithProgramCache(cache *ProgramCache) Option {
 	return func(c *config) { c.cache = cache }
 }
 
+// WithArtifactDir attaches a persistent artifact store rooted at dir
+// to the session's program cache at Open time (see
+// ProgramCache.SetArtifactDir), making compiles warm-startable across
+// processes. Note the attach mutates the cache the session resolves to
+// — the process-wide default unless WithProgramCache supplies a
+// private one. An empty dir detaches the store. Without this option,
+// the default cache still honors the MPERF_CACHE_DIR environment
+// variable.
+func WithArtifactDir(dir string) Option {
+	return func(c *config) { c.artifactDir = &dir }
+}
+
 // ExecStats aliases the VM's superblock coverage accumulator so
 // callers (miniperf -vm-stats) need not import internal packages.
 type ExecStats = vm.ExecStats
@@ -154,10 +167,12 @@ type Session struct {
 	statLabels []string
 	execStats  *vm.ExecStats
 
-	// compiled/hits track this session's traffic through the program
-	// cache; Session.Run reports the per-run delta as CompileStats.
+	// compiled/hits/diskHits track this session's traffic through the
+	// program cache; Session.Run reports the per-run delta as
+	// CompileStats.
 	compiled atomic.Uint64
 	hits     atomic.Uint64
+	diskHits atomic.Uint64
 }
 
 // Open resolves the platform and workload through their registries and
@@ -178,7 +193,12 @@ func Open(platformName, workloadName string, opts ...Option) (*Session, error) {
 	}
 	cache := cfg.cache
 	if cache == nil {
-		cache = defaultProgramCache
+		cache = defaultCache()
+	}
+	if cfg.artifactDir != nil {
+		if err := cache.SetArtifactDir(*cfg.artifactDir); err != nil {
+			return nil, err
+		}
 	}
 	s := &Session{plat: plat, spec: spec, params: cfg.params, cache: cache,
 		sampleFreq: cfg.sampleFreq, execStats: cfg.execStats}
@@ -253,7 +273,7 @@ func (s *Session) ProgramKey(optimize, instrument bool) ProgramKey {
 // the caller; the failed entry is not cached, so a later request can
 // retry the build.
 func (s *Session) Program(optimize, instrument bool) (*vm.Program, error) {
-	prog, hit, err := s.cache.Get(s.ProgramKey(optimize, instrument), func() (prog *vm.Program, err error) {
+	prog, src, err := s.cache.Get(s.ProgramKey(optimize, instrument), func() (prog *vm.Program, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				prog, err = nil, NewPanicError("compile "+s.spec.Name, r)
@@ -267,9 +287,12 @@ func (s *Session) Program(optimize, instrument bool) (*vm.Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mperf: %w", err)
 	}
-	if hit {
+	switch src {
+	case SourceMemory:
 		s.hits.Add(1)
-	} else {
+	case SourceDisk:
+		s.diskHits.Add(1)
+	default:
 		s.compiled.Add(1)
 	}
 	return prog, nil
@@ -299,7 +322,7 @@ func (s *Session) Run(collectors ...Collector) (*Profile, error) {
 		return nil, errNoCollectors()
 	}
 	p := s.NewProfile()
-	compiled0, hits0 := s.compiled.Load(), s.hits.Load()
+	compiled0, hits0, disk0 := s.compiled.Load(), s.hits.Load(), s.diskHits.Load()
 	for _, c := range collectors {
 		p.Collectors = append(p.Collectors, c.Name())
 		if err := s.collect(context.Background(), c, p); err != nil {
@@ -309,6 +332,7 @@ func (s *Session) Run(collectors ...Collector) (*Profile, error) {
 	p.CompileStats = &CompileStats{
 		Compiled:  s.compiled.Load() - compiled0,
 		CacheHits: s.hits.Load() - hits0,
+		DiskHits:  s.diskHits.Load() - disk0,
 	}
 	return p, nil
 }

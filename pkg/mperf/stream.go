@@ -54,7 +54,7 @@ func (s *Session) RunStream(ctx context.Context, sink func(CollectorResult), col
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	compiled0, hits0 := s.compiled.Load(), s.hits.Load()
+	compiled0, hits0, disk0 := s.compiled.Load(), s.hits.Load(), s.diskHits.Load()
 
 	partials := make([]*Profile, len(collectors))
 	errs := make([]error, len(collectors))
@@ -103,6 +103,7 @@ func (s *Session) RunStream(ctx context.Context, sink func(CollectorResult), col
 	final.CompileStats = &CompileStats{
 		Compiled:  s.compiled.Load() - compiled0,
 		CacheHits: s.hits.Load() - hits0,
+		DiskHits:  s.diskHits.Load() - disk0,
 	}
 	return final, ctx.Err()
 }

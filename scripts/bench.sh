@@ -1,12 +1,14 @@
 #!/bin/sh
-# Regenerate BENCH_PR8.json: run the four headline benchmarks (one per
+# Regenerate BENCH_PR9.json: run the four headline benchmarks (one per
 # reproduced table/figure plus the memset roof input), the PR3
 # program-cache trajectory benches, the PR6 daemon load bench (200
-# concurrent HTTP clients against a warm mperfd), and the PR8
-# superblock micro-benches (fused vs per-instruction hot-loop
-# dispatch), and record ns/op, the reproduced paper metrics, and the
-# speedup/metric drift against the recorded PR3 run (BENCH_PR3.json;
-# benches newer than PR3 have no baseline entry).
+# concurrent HTTP clients against a warm mperfd), the PR8 superblock
+# micro-benches (fused vs per-instruction hot-loop dispatch), and the
+# PR9 artifact-store benches (warm start from serialized programs vs a
+# cold compile, and a sharded two-process sweep with merge), and record
+# ns/op, the reproduced paper metrics, and the speedup/metric drift
+# against the recorded PR8 run (BENCH_PR8.json; benches newer than PR8
+# have no baseline entry).
 #
 # The daemon bench runs at a fixed iteration count so its cache-hit-rate
 # metric reflects steady-state serving, not a two-request sample.
@@ -20,13 +22,15 @@ HEADLINE='BenchmarkTable2_SqliteHotspots|BenchmarkFigure3_FlameGraphs|BenchmarkF
 CACHE='BenchmarkCompileProgram|BenchmarkInstantiate|BenchmarkMatrixWarm'
 DAEMON='BenchmarkDaemonConcurrentProfiles'
 SUPERBLOCK='BenchmarkSuperblockMatmul|BenchmarkSuperblockTriad|BenchmarkSuperblockSqlite'
+STORE='BenchmarkColdVsWarmStart|BenchmarkShardedMatrix'
 
 {
 	go test -run '^$' -bench "$HEADLINE|$CACHE" -benchtime "$BENCHTIME" .
 	go test -run '^$' -bench "$DAEMON" -benchtime 100x .
 	go test -run '^$' -bench "$SUPERBLOCK" -benchtime 2s .
+	go test -run '^$' -bench "$STORE" -benchtime 20x .
 } |
 	tee /dev/stderr |
-	go run ./cmd/benchjson -baseline BENCH_PR3.json > BENCH_PR8.json
+	go run ./cmd/benchjson -baseline BENCH_PR8.json > BENCH_PR9.json
 
-echo "wrote BENCH_PR8.json" >&2
+echo "wrote BENCH_PR9.json" >&2
