@@ -120,6 +120,8 @@ const (
 	SigSpecFlop  // FLOPs issued including squashed speculative work
 	SigStall     // stall cycles
 	SigDRAMBytes // bytes transferred to/from DRAM
+	SigL1DBytes  // bytes demanded of L1D (load/store footprint)
+	SigL2Bytes   // bytes moved on the L1D<->L2 bus (fills + writebacks)
 
 	NumSignals // number of defined signals; keep last
 )
@@ -147,6 +149,8 @@ var signalNames = [...]string{
 	SigSpecFlop:   "spec_flops",
 	SigStall:      "stall_cycles",
 	SigDRAMBytes:  "dram_bytes",
+	SigL1DBytes:   "l1d_bytes",
+	SigL2Bytes:    "l2_bytes",
 }
 
 // String returns the lowercase mnemonic for the signal.

@@ -10,8 +10,8 @@ import (
 // hot path; sinks must not retain it.
 type DeltaBatch struct {
 	N   int
-	Sig [16]isa.Signal
-	Val [16]uint64
+	Sig [24]isa.Signal
+	Val [24]uint64
 }
 
 // Add appends one signal increment (no-op for zero deltas).
@@ -68,6 +68,8 @@ type Stats struct {
 	IntOps      uint64
 	L1DMisses   uint64
 	L2Misses    uint64
+	L1DBytes    uint64 // bytes demanded of L1D by loads/stores
+	L2Bytes     uint64 // bytes moved on the L1D<->L2 bus
 	DRAMBytes   uint64
 	TimerTicks  uint64
 }
@@ -538,6 +540,8 @@ func (c *Core) chargeQuietAccess(access mem.AccessResult) {
 	if access.L2Miss {
 		c.stats.L2Misses++
 	}
+	c.stats.L1DBytes += access.L1Bytes
+	c.stats.L2Bytes += access.L2Bytes
 	c.stats.DRAMBytes += access.DRAMBytes
 }
 
@@ -685,6 +689,8 @@ func (c *Core) emit(u *Uop, mask uint64, startCycles, startInstret, startStalls 
 	if access.L2Miss {
 		c.stats.L2Misses++
 	}
+	c.stats.L1DBytes += access.L1Bytes
+	c.stats.L2Bytes += access.L2Bytes
 	c.stats.DRAMBytes += access.DRAMBytes
 
 	switch u.Class {
@@ -736,6 +742,8 @@ func (c *Core) emit(u *Uop, mask uint64, startCycles, startInstret, startStalls 
 	}
 	b.AddWatched(mask, isa.SigStall, stallDelta)
 	b.AddWatched(mask, isa.SigDRAMBytes, access.DRAMBytes)
+	b.AddWatched(mask, isa.SigL1DBytes, access.L1Bytes)
+	b.AddWatched(mask, isa.SigL2Bytes, access.L2Bytes)
 	if u.Class.IsFP() {
 		if u.Class.IsVector() {
 			b.AddWatched(mask, isa.SigVecFPOp, 1)

@@ -109,13 +109,7 @@ func (c *Core) regionQuietInOrder(tmpl []Uop, dyn []RegionDyn, salt uint32) {
 		case OpLoad, OpVecLoad:
 			access := c.memh.Access(c.cycles, dyn[i].Addr, int(u.Size), false)
 			lat += access.Latency
-			if access.L1Miss {
-				c.stats.L1DMisses++
-			}
-			if access.L2Miss {
-				c.stats.L2Misses++
-			}
-			c.stats.DRAMBytes += access.DRAMBytes
+			c.chargeQuietAccess(access)
 			c.stats.Loads++
 		case OpStore, OpVecStore:
 			access := c.memh.Access(c.cycles, dyn[i].Addr, int(u.Size), true)
@@ -131,13 +125,7 @@ func (c *Core) regionQuietInOrder(tmpl []Uop, dyn []RegionDyn, salt uint32) {
 			}
 			c.storeBuf[c.storeHead] = complete
 			c.storeHead = (c.storeHead + 1) % len(c.storeBuf)
-			if access.L1Miss {
-				c.stats.L1DMisses++
-			}
-			if access.L2Miss {
-				c.stats.L2Misses++
-			}
-			c.stats.DRAMBytes += access.DRAMBytes
+			c.chargeQuietAccess(access)
 			c.stats.Stores++
 		case OpBranch:
 			if c.bp.conditional(u.BrID, dyn[i].Taken) {
@@ -201,12 +189,8 @@ func (c *Core) regionQuietOutOfOrder(tmpl []Uop, dyn []RegionDyn, salt uint32) {
 				c.cycles += pen
 				c.stats.StallCycles += pen
 				c.replayFP = 8
-				c.stats.L1DMisses++
 			}
-			if access.L2Miss {
-				c.stats.L2Misses++
-			}
-			c.stats.DRAMBytes += access.DRAMBytes
+			c.chargeQuietAccess(access)
 			c.stats.Loads++
 		case OpStore, OpVecStore:
 			access := c.memh.Access(c.cycles, dyn[i].Addr, int(u.Size), true)
@@ -221,13 +205,7 @@ func (c *Core) regionQuietOutOfOrder(tmpl []Uop, dyn []RegionDyn, salt uint32) {
 			}
 			c.storeBuf[c.storeHead] = complete
 			c.storeHead = (c.storeHead + 1) % len(c.storeBuf)
-			if access.L1Miss {
-				c.stats.L1DMisses++
-			}
-			if access.L2Miss {
-				c.stats.L2Misses++
-			}
-			c.stats.DRAMBytes += access.DRAMBytes
+			c.chargeQuietAccess(access)
 			c.stats.Stores++
 		case OpIntDiv, OpFPDiv:
 			pen := c.cfg.Latency[u.Class] / 2

@@ -20,6 +20,24 @@ type CacheConfig struct {
 	LineSize   int    // bytes per line, power of two
 	Ways       int    // associativity
 	HitLatency uint64 // cycles for a hit in this level
+
+	// BytesPerCycle is the peak sustainable bandwidth of this level,
+	// used only as a roofline ceiling. It does not participate in
+	// access timing, which is governed by HitLatency and the DRAM
+	// channel model; leaving it zero falls back to LineSize/HitLatency.
+	BytesPerCycle float64
+}
+
+// PeakBytesPerCycle returns the configured roofline-ceiling bandwidth,
+// defaulting to one line per hit latency when unset.
+func (c CacheConfig) PeakBytesPerCycle() float64 {
+	if c.BytesPerCycle > 0 {
+		return c.BytesPerCycle
+	}
+	if c.HitLatency == 0 {
+		return float64(c.LineSize)
+	}
+	return float64(c.LineSize) / float64(c.HitLatency)
 }
 
 // Validate checks structural invariants of the configuration.

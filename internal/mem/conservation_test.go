@@ -1,0 +1,134 @@
+package mem_test
+
+import (
+	"testing"
+
+	"mperf/internal/isa"
+	"mperf/internal/kernel"
+	"mperf/internal/platform"
+	"mperf/internal/vm"
+	"mperf/internal/workloads"
+)
+
+// memboundSuite is the memory-bound kernel catalog whose per-level
+// traffic the hierarchical roofline attributes; its shapes (unit
+// stride, indexed reads, indexed writes, CSR traversal, dependent
+// chase) cover every access pattern the Hierarchy distinguishes.
+var memboundSuite = []string{
+	"stream_copy", "stream_scale", "stream_add",
+	"gather", "scatter", "spmv", "ptrchase",
+}
+
+// memboundMachine compiles one suite workload (scalar pipeline, data
+// image baked in) onto a fresh X60 machine.
+func memboundMachine(t *testing.T, name string) (*vm.Machine, *workloads.Spec) {
+	t.Helper()
+	spec, err := workloads.Lookup(name, workloads.Params{Elems: 2048})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	prog, err := spec.BuildProgram(platform.X60(), false, false)
+	if err != nil {
+		t.Fatalf("%s: build: %v", name, err)
+	}
+	return vm.NewMachine(prog, platform.X60()), spec
+}
+
+// TestMemboundCounterConservation pins the per-level attribution laws
+// for every workload in the memory-bound suite, on the quiet path:
+//
+//   - every L1 demand lookup either hits L1 or becomes an L2 demand
+//     lookup (exact, because the counters exclude writeback probes);
+//   - L2 demand misses are all served by DRAM, and everything DRAM
+//     moves beyond those fills is L2 writeback traffic;
+//   - DRAM never moves more bytes than the L1<->L2 bus (each DRAM fill
+//     backs an L1 refill, each DRAM writeback a dirtied L2 line);
+//   - the core's charged Stats agree byte-for-byte with the hierarchy.
+func TestMemboundCounterConservation(t *testing.T) {
+	for _, name := range memboundSuite {
+		t.Run(name, func(t *testing.T) {
+			m, spec := memboundMachine(t, name)
+			if err := spec.Run(m); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			core := m.Hart().Core
+			h := core.Mem()
+			if h.L1Accesses == 0 || h.L1Bytes == 0 {
+				t.Fatalf("no demand traffic attributed: %+v", h)
+			}
+			if h.L1Accesses != h.L1Hits+h.L2Accesses {
+				t.Errorf("L1 conservation broken: %d accesses != %d hits + %d L2 accesses",
+					h.L1Accesses, h.L1Hits, h.L2Accesses)
+			}
+			line := uint64(platform.X60().Core.Mem.L1D.LineSize)
+			fills := (h.L2Accesses - h.L2Hits) * line
+			dram := h.DRAM().Bytes
+			if fills > dram {
+				t.Errorf("L2 demand fills %d B exceed DRAM traffic %d B", fills, dram)
+			}
+			if want := fills + h.WriteBacks*line; dram != want {
+				t.Errorf("DRAM bytes %d != fills %d + writebacks %d", dram, fills, h.WriteBacks*line)
+			}
+			if dram > h.L2Bytes {
+				t.Errorf("DRAM traffic %d B exceeds L1<->L2 bus traffic %d B", dram, h.L2Bytes)
+			}
+			st := core.Stats()
+			if st.L1DBytes != h.L1Bytes || st.L2Bytes != h.L2Bytes || st.DRAMBytes != dram {
+				t.Errorf("stats bytes (%d, %d, %d) diverge from hierarchy (%d, %d, %d)",
+					st.L1DBytes, st.L2Bytes, st.DRAMBytes, h.L1Bytes, h.L2Bytes, dram)
+			}
+		})
+	}
+}
+
+// TestMemboundQuietMatchesObserved extends the
+// TestQuietPathMatchesObserved pattern to the memory-bound suite: a
+// quiet run (no armed counter, fast path) and a run observed through
+// an enabled PMU counter (full per-uop emission, including the new
+// byte signals) must charge identical Stats and identical per-level
+// hierarchy counters.
+func TestMemboundQuietMatchesObserved(t *testing.T) {
+	for _, name := range memboundSuite {
+		t.Run(name, func(t *testing.T) {
+			quiet, spec := memboundMachine(t, name)
+			if err := spec.Run(quiet); err != nil {
+				t.Fatalf("quiet run: %v", err)
+			}
+
+			observed, spec2 := memboundMachine(t, name)
+			k := observed.Kernel()
+			fd, err := k.PerfEventOpen(kernel.EventAttr{
+				Label: "cache-misses", Config: isa.EventCacheMisses, Disabled: true,
+			}, -1)
+			if err != nil {
+				t.Fatalf("opening counter: %v", err)
+			}
+			if err := k.Enable(fd); err != nil {
+				t.Fatal(err)
+			}
+			if err := spec2.Run(observed); err != nil {
+				t.Fatalf("observed run: %v", err)
+			}
+			k.Disable(fd)
+			misses, err := k.ReadCount(fd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.Close(fd)
+
+			qs, os := quiet.Hart().Core.Stats(), observed.Hart().Core.Stats()
+			if qs != os {
+				t.Errorf("stats diverge:\nquiet:    %+v\nobserved: %+v", qs, os)
+			}
+			qh, oh := quiet.Hart().Core.Mem(), observed.Hart().Core.Mem()
+			if qh.L1Accesses != oh.L1Accesses || qh.L1Hits != oh.L1Hits ||
+				qh.L2Accesses != oh.L2Accesses || qh.L2Hits != oh.L2Hits ||
+				qh.L1Bytes != oh.L1Bytes || qh.L2Bytes != oh.L2Bytes {
+				t.Errorf("hierarchy counters diverge:\nquiet:    %+v\nobserved: %+v", qh, oh)
+			}
+			if misses == 0 {
+				t.Error("observed counter saw no cache misses on a memory-bound kernel")
+			}
+		})
+	}
+}

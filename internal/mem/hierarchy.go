@@ -12,6 +12,8 @@ type AccessResult struct {
 	PostedLatency uint64
 	L1Miss        bool   // missed in L1D
 	L2Miss        bool   // missed in L2 (implies DRAM traffic)
+	L1Bytes       uint64 // bytes demanded of L1D (the access itself)
+	L2Bytes       uint64 // bytes moved between L1D and L2 (fills + writebacks)
 	DRAMBytes     uint64 // bytes moved on the memory channel
 }
 
@@ -37,6 +39,17 @@ type Hierarchy struct {
 
 	// Statistics beyond the per-level counters.
 	WriteBacks uint64
+
+	// Per-level traffic attribution. The Accesses/Hits pairs count
+	// demand lookups only (no writeback or fill probes), so the
+	// conservation law L1Accesses == L1Hits + L2Accesses holds exactly.
+	// The byte counters aggregate the per-access L1Bytes/L2Bytes fields.
+	L1Accesses uint64
+	L1Hits     uint64
+	L2Accesses uint64
+	L2Hits     uint64
+	L1Bytes    uint64
+	L2Bytes    uint64
 }
 
 // NewHierarchy constructs the memory system.
@@ -72,7 +85,10 @@ func (h *Hierarchy) Access(now uint64, addr uint64, size int, write bool) Access
 	if first == last {
 		// Fast path: the overwhelmingly common single-line access needs
 		// no straddle loop or per-line result merging.
-		return h.accessLine(now, first, write)
+		res := h.accessLine(now, first, write)
+		res.L1Bytes = uint64(size)
+		h.L1Bytes += res.L1Bytes
+		return res
 	}
 	var res AccessResult
 	for line := first; ; line += h.lineSize {
@@ -83,6 +99,7 @@ func (h *Hierarchy) Access(now uint64, addr uint64, size int, write bool) Access
 		if r.PostedLatency > res.PostedLatency {
 			res.PostedLatency = r.PostedLatency
 		}
+		res.L2Bytes += r.L2Bytes
 		res.DRAMBytes += r.DRAMBytes
 		res.L1Miss = res.L1Miss || r.L1Miss
 		res.L2Miss = res.L2Miss || r.L2Miss
@@ -90,17 +107,24 @@ func (h *Hierarchy) Access(now uint64, addr uint64, size int, write bool) Access
 			break
 		}
 	}
+	res.L1Bytes = uint64(size)
+	h.L1Bytes += res.L1Bytes
 	return res
 }
 
 // accessLine resolves a single line through the hierarchy.
 func (h *Hierarchy) accessLine(now uint64, line uint64, write bool) AccessResult {
+	h.L1Accesses++
 	if h.l1d.Lookup(line, write) {
+		h.L1Hits++
 		lat := h.l1d.cfg.HitLatency
 		return AccessResult{Latency: lat, PostedLatency: lat}
 	}
-	res := AccessResult{L1Miss: true}
+	// The miss is refilled from L2: one line crosses the L1<->L2 bus.
+	res := AccessResult{L1Miss: true, L2Bytes: h.lineSize}
+	h.L2Accesses++
 	if h.l2.Lookup(line, false) {
+		h.L2Hits++
 		res.Latency = h.l2.cfg.HitLatency
 		res.PostedLatency = res.Latency
 	} else {
@@ -119,8 +143,9 @@ func (h *Hierarchy) accessLine(now uint64, line uint64, write bool) AccessResult
 		}
 	}
 	// Install in L1; a dirty L1 victim is written back to L2 (which may
-	// in turn evict to DRAM).
+	// in turn evict to DRAM). The victim line crosses the L1<->L2 bus.
 	if ev, dirty, had := h.l1d.Fill(line, write); had && dirty {
+		res.L2Bytes += h.lineSize
 		if !h.l2.Lookup(ev, true) {
 			if ev2, dirty2, had2 := h.l2.Fill(ev, true); had2 && dirty2 {
 				_ = ev2
@@ -130,6 +155,7 @@ func (h *Hierarchy) accessLine(now uint64, line uint64, write bool) AccessResult
 			}
 		}
 	}
+	h.L2Bytes += res.L2Bytes
 	return res
 }
 
@@ -139,4 +165,10 @@ func (h *Hierarchy) Reset() {
 	h.l2.Reset()
 	h.dram.Reset()
 	h.WriteBacks = 0
+	h.L1Accesses = 0
+	h.L1Hits = 0
+	h.L2Accesses = 0
+	h.L2Hits = 0
+	h.L1Bytes = 0
+	h.L2Bytes = 0
 }

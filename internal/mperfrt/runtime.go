@@ -28,6 +28,14 @@ type LoopStats struct {
 	// clock at loop_begin/loop_end. Meaningful in baseline runs for
 	// timing and in instrumented runs for overhead measurement.
 	Cycles uint64
+
+	// Per-cache-level traffic observed inside the region (sum over
+	// activations), captured from the traffic probe when one is
+	// installed (SetTrafficProbe); zero otherwise. These feed the
+	// hierarchical roofline's per-level arithmetic-intensity points.
+	L1Bytes   uint64
+	L2Bytes   uint64
+	DRAMBytes uint64
 }
 
 // Bytes returns total memory traffic.
@@ -49,11 +57,15 @@ func (s *LoopStats) ArithmeticIntensity() float64 {
 type activation struct {
 	loopID int64
 	start  uint64
+	// Traffic-probe snapshot at entry (valid only when a probe is
+	// installed): per-level byte counters are charged as deltas at exit.
+	startL1, startL2, startDRAM uint64
 }
 
 // Collector implements the vm.Runtime contract.
 type Collector struct {
 	clock        func() uint64
+	traffic      func() (l1, l2, dram uint64)
 	instrumented bool
 	only         map[int64]bool // nil = all loops
 
@@ -81,6 +93,16 @@ func New(clock func() uint64) *Collector {
 // two-phase workflow (Fig 2).
 func (c *Collector) SetInstrumented(b bool) { c.instrumented = b }
 
+// SetTrafficProbe installs a per-cache-level byte-counter probe
+// (typically reading the simulated hierarchy's cumulative L1/L2/DRAM
+// byte counters). While installed, every activation snapshots the
+// counters at entry and charges the deltas at exit, giving per-region
+// traffic attribution without touching the execution path. A nil probe
+// uninstalls it.
+func (c *Collector) SetTrafficProbe(probe func() (l1, l2, dram uint64)) {
+	c.traffic = probe
+}
+
 // EnableOnlyLoops restricts instrumentation to the listed loop IDs
 // (the "runtime control over which regions are instrumented" from
 // §4.2). Passing none removes the restriction.
@@ -99,7 +121,11 @@ func (c *Collector) EnableOnlyLoops(ids ...int64) {
 func (c *Collector) LoopBegin(loopID int64) int64 {
 	c.nextH++
 	h := c.nextH
-	c.active[h] = &activation{loopID: loopID, start: c.clock()}
+	a := &activation{loopID: loopID, start: c.clock()}
+	if c.traffic != nil {
+		a.startL1, a.startL2, a.startDRAM = c.traffic()
+	}
+	c.active[h] = a
 	c.current = append(c.current, h)
 	st := c.stats(loopID)
 	st.Invocations++
@@ -116,7 +142,14 @@ func (c *Collector) LoopEnd(handle int64) {
 	if n := len(c.current); n > 0 && c.current[n-1] == handle {
 		c.current = c.current[:n-1]
 	}
-	c.stats(a.loopID).Cycles += c.clock() - a.start
+	st := c.stats(a.loopID)
+	st.Cycles += c.clock() - a.start
+	if c.traffic != nil {
+		l1, l2, dram := c.traffic()
+		st.L1Bytes += l1 - a.startL1
+		st.L2Bytes += l2 - a.startL2
+		st.DRAMBytes += dram - a.startDRAM
+	}
 }
 
 // IsInstrumented reports whether the instrumented clone should run for

@@ -132,8 +132,11 @@ func X60() *Platform {
 		StoreBufferEntries: 8,
 		VectorLanes32:      8, // RVV 1.0, VLEN=256
 		Mem: mem.HierarchyConfig{
-			L1D: mem.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, LineSize: 64, Ways: 8, HitLatency: 3},
-			L2:  mem.CacheConfig{Name: "L2", SizeBytes: 512 << 10, LineSize: 64, Ways: 8, HitLatency: 18},
+			// BytesPerCycle per cache level is a roofline-ceiling
+			// parameter only (hierarchical roofline peaks); access
+			// timing is governed by HitLatency and the DRAM channel.
+			L1D: mem.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, LineSize: 64, Ways: 8, HitLatency: 3, BytesPerCycle: 32},
+			L2:  mem.CacheConfig{Name: "L2", SizeBytes: 512 << 10, LineSize: 64, Ways: 8, HitLatency: 18, BytesPerCycle: 16},
 			// Calibrated so a write-allocate memset sustains ≈3.16
 			// stored bytes/cycle, the figure §5.2 adopts from the
 			// rvv-bench memset results (fill + write-back halves the
@@ -192,8 +195,8 @@ func U74() *Platform {
 		StoreBufferEntries: 8,
 		VectorLanes32:      0,
 		Mem: mem.HierarchyConfig{
-			L1D:  mem.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, LineSize: 64, Ways: 8, HitLatency: 3},
-			L2:   mem.CacheConfig{Name: "L2", SizeBytes: 2 << 20, LineSize: 64, Ways: 16, HitLatency: 21},
+			L1D:  mem.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, LineSize: 64, Ways: 8, HitLatency: 3, BytesPerCycle: 16},
+			L2:   mem.CacheConfig{Name: "L2", SizeBytes: 2 << 20, LineSize: 64, Ways: 16, HitLatency: 21, BytesPerCycle: 8},
 			DRAM: mem.DRAMConfig{BytesPerCycle: 4.0, Latency: 160},
 		},
 		TimerIntervalCycles: 1_500_000,
@@ -240,8 +243,8 @@ func C910() *Platform {
 		StoreBufferEntries: 16,
 		VectorLanes32:      4, // RVV 0.7.1, VLEN=128
 		Mem: mem.HierarchyConfig{
-			L1D:  mem.CacheConfig{Name: "L1D", SizeBytes: 64 << 10, LineSize: 64, Ways: 4, HitLatency: 4},
-			L2:   mem.CacheConfig{Name: "L2", SizeBytes: 1 << 20, LineSize: 64, Ways: 16, HitLatency: 20},
+			L1D:  mem.CacheConfig{Name: "L1D", SizeBytes: 64 << 10, LineSize: 64, Ways: 4, HitLatency: 4, BytesPerCycle: 32},
+			L2:   mem.CacheConfig{Name: "L2", SizeBytes: 1 << 20, LineSize: 64, Ways: 16, HitLatency: 20, BytesPerCycle: 16},
 			DRAM: mem.DRAMConfig{BytesPerCycle: 8.0, Latency: 150},
 		},
 		TimerIntervalCycles: 1_850_000,
@@ -289,8 +292,8 @@ func I5_1135G7() *Platform {
 		StoreBufferEntries: 32,
 		VectorLanes32:      8, // AVX2: 256-bit
 		Mem: mem.HierarchyConfig{
-			L1D: mem.CacheConfig{Name: "L1D", SizeBytes: 48 << 10, LineSize: 64, Ways: 12, HitLatency: 5},
-			L2:  mem.CacheConfig{Name: "L2", SizeBytes: 1 << 20, LineSize: 64, Ways: 16, HitLatency: 14},
+			L1D: mem.CacheConfig{Name: "L1D", SizeBytes: 48 << 10, LineSize: 64, Ways: 12, HitLatency: 5, BytesPerCycle: 64},
+			L2:  mem.CacheConfig{Name: "L2", SizeBytes: 1 << 20, LineSize: 64, Ways: 16, HitLatency: 14, BytesPerCycle: 32},
 			// LPDDR4x: ~27 GB/s sustained from one core.
 			DRAM: mem.DRAMConfig{BytesPerCycle: 6.5, Latency: 280},
 		},

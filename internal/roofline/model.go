@@ -83,14 +83,53 @@ func (m *Model) Attainable(ai float64) float64 {
 	return peak
 }
 
-// Ridge returns the arithmetic intensity where the memory roof meets
-// the compute roof — the machine-balance point.
-func (m *Model) Ridge() float64 {
-	bw := m.PeakGiBps() * (1 << 30) / 1e9
+// AttainableUnder returns the bound imposed by one memory ceiling at
+// intensity ai: min(peak compute, ai × that ceiling's bandwidth). In a
+// hierarchical model each ceiling is its own diagonal.
+func (m *Model) AttainableUnder(ai float64, c MemoryCeiling) float64 {
+	mem := ai * c.GiBps * (1 << 30) / 1e9
+	peak := m.PeakGFLOPS()
+	if mem < peak {
+		return mem
+	}
+	return peak
+}
+
+// ridgeAI is the machine-balance intensity for one bandwidth value. A
+// zero-bandwidth (degenerate, flat) ceiling never intersects the
+// compute roof, so its ridge is at +Inf rather than NaN or a panic.
+func ridgeAI(peakGFLOPS, gibps float64) float64 {
+	bw := gibps * (1 << 30) / 1e9
 	if bw == 0 {
 		return math.Inf(1)
 	}
-	return m.PeakGFLOPS() / bw
+	return peakGFLOPS / bw
+}
+
+// Ridge returns the arithmetic intensity where the highest memory roof
+// meets the compute roof — the machine-balance point of the classic
+// single-ceiling chart.
+func (m *Model) Ridge() float64 {
+	return ridgeAI(m.PeakGFLOPS(), m.PeakGiBps())
+}
+
+// RidgePoint is the machine-balance point of one memory ceiling.
+type RidgePoint struct {
+	Name string  // the ceiling's name
+	AI   float64 // FLOP/byte where that ceiling meets the compute roof
+}
+
+// Ridges returns the per-ceiling ridge points, one per memory roof in
+// declaration order. Each ceiling in a hierarchical model has its own
+// balance point; the single-ceiling Ridge() is the special case of a
+// one-element slice.
+func (m *Model) Ridges() []RidgePoint {
+	peak := m.PeakGFLOPS()
+	out := make([]RidgePoint, 0, len(m.Memory))
+	for _, c := range m.Memory {
+		out = append(out, RidgePoint{Name: c.Name, AI: ridgeAI(peak, c.GiBps)})
+	}
+	return out
 }
 
 // Bound classifies a point as "memory-bound" or "compute-bound" by
@@ -123,6 +162,11 @@ func (m *Model) Summary() string {
 		fmt.Fprintf(&sb, "  memory roof:  %-28s %8.2f GiB/s\n", c.Name, c.GiBps)
 	}
 	fmt.Fprintf(&sb, "  ridge point:  %.3f FLOP/byte\n", m.Ridge())
+	if len(m.Memory) > 1 {
+		for _, r := range m.Ridges() {
+			fmt.Fprintf(&sb, "  ridge (%s):  %.3f FLOP/byte\n", r.Name, r.AI)
+		}
+	}
 	pts := append([]Point(nil), m.Points...)
 	sort.Slice(pts, func(i, j int) bool { return pts[i].Name < pts[j].Name })
 	for _, p := range pts {

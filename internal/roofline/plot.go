@@ -49,10 +49,18 @@ func (m *Model) ASCIIPlot(width, height int) string {
 		}
 	}
 
-	// Draw the roofline: for each column, the attainable bound.
+	// Draw the rooflines: for each column, the attainable bound under
+	// every memory ceiling (each ceiling is its own diagonal; a
+	// single-ceiling model draws exactly the classic envelope).
 	for x := 0; x < width; x++ {
 		ai := math.Pow(10, minAI+(maxAI-minAI)*float64(x)/float64(width-1))
-		put(x, toY(m.Attainable(ai)), '_')
+		if len(m.Memory) <= 1 {
+			put(x, toY(m.Attainable(ai)), '_')
+			continue
+		}
+		for _, c := range m.Memory {
+			put(x, toY(m.AttainableUnder(ai, c)), '_')
+		}
 	}
 	// Points, labelled A, B, C...
 	var legend []string
@@ -112,14 +120,26 @@ func (m *Model) SVGPlot(width, height int) string {
 	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, width, height)
 	fmt.Fprintf(&sb, `<text x="%d" y="16" font-size="13" font-family="sans-serif">%s — Roofline</text>`,
 		margin, m.Platform)
-	// Roofline polyline.
-	var pts []string
+	// Roofline polylines: one envelope per memory ceiling (the classic
+	// single line when the model has at most one ceiling).
+	envelopes := [][]string{nil}
+	if len(m.Memory) > 1 {
+		envelopes = make([][]string, len(m.Memory))
+	}
 	for x := 0; x <= 100; x++ {
 		ai := math.Pow(10, minAI+(maxAI-minAI)*float64(x)/100)
-		pts = append(pts, fmt.Sprintf("%.1f,%.1f", toX(ai), toY(m.Attainable(ai))))
+		if len(m.Memory) <= 1 {
+			envelopes[0] = append(envelopes[0], fmt.Sprintf("%.1f,%.1f", toX(ai), toY(m.Attainable(ai))))
+			continue
+		}
+		for i, c := range m.Memory {
+			envelopes[i] = append(envelopes[i], fmt.Sprintf("%.1f,%.1f", toX(ai), toY(m.AttainableUnder(ai, c))))
+		}
 	}
-	fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="black" stroke-width="1.5"/>`,
-		strings.Join(pts, " "))
+	for _, pts := range envelopes {
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="black" stroke-width="1.5"/>`,
+			strings.Join(pts, " "))
+	}
 	// Axes.
 	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="gray"/>`,
 		margin, height-margin, width-margin, height-margin)

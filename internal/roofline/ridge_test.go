@@ -1,0 +1,106 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func hierTestModel() *Model {
+	return &Model{
+		Platform: "test-hier",
+		Compute:  []ComputeCeiling{{Name: "peak", GFLOPS: 25.6}},
+		Memory: []MemoryCeiling{
+			{Name: "L1", GiBps: 47.68},
+			{Name: "L2", GiBps: 23.84},
+			{Name: "DRAM", GiBps: 9.42},
+		},
+	}
+}
+
+// TestRidgesPerCeiling pins the per-level ridge points: one per memory
+// ceiling, in declaration order, each the AI where that roof meets the
+// compute roof — and the legacy single Ridge() must still report the
+// envelope ridge (the tightest bandwidth, i.e. the largest AI).
+func TestRidgesPerCeiling(t *testing.T) {
+	m := hierTestModel()
+	rs := m.Ridges()
+	if len(rs) != 3 {
+		t.Fatalf("got %d ridges, want 3", len(rs))
+	}
+	// Ridge AIs are unit-correct: GFLOP/s (1e9) over GiB/s (2^30).
+	toBW := func(gibps float64) float64 { return gibps * (1 << 30) / 1e9 }
+	want := []struct {
+		name string
+		ai   float64
+	}{
+		{"L1", 25.6 / toBW(47.68)},
+		{"L2", 25.6 / toBW(23.84)},
+		{"DRAM", 25.6 / toBW(9.42)},
+	}
+	for i, w := range want {
+		if rs[i].Name != w.name {
+			t.Errorf("ridge %d named %q, want %q", i, rs[i].Name, w.name)
+		}
+		if math.Abs(rs[i].AI-w.ai) > 1e-12 {
+			t.Errorf("ridge %s = %v, want %v", w.name, rs[i].AI, w.ai)
+		}
+	}
+	// Ridge() works off the highest roof (PeakGiBps), so in a
+	// hierarchical model the single ridge is the fastest level's — L1's
+	// — exactly as the classic chart's outer envelope would place it.
+	if got := m.Ridge(); math.Abs(got-want[0].ai) > 1e-12 {
+		t.Errorf("envelope ridge = %v, want L1 ridge %v", got, want[0].ai)
+	}
+	// Ridges must not change under AttainableUnder: each ceiling caps
+	// its own diagonal at the compute roof exactly at its ridge AI.
+	for i, c := range m.Memory {
+		at := m.AttainableUnder(rs[i].AI, c)
+		if math.Abs(at-25.6) > 1e-9 {
+			t.Errorf("attainable under %s at its ridge = %v, want 25.6", c.Name, at)
+		}
+	}
+}
+
+// TestFlatCeilingRidgeDegenerate is the regression test for the old
+// single-ceiling assumption: a degenerate flat (zero-bandwidth) memory
+// ceiling must yield an infinite ridge AI — never NaN, never a panic —
+// and must not poison the other levels' ridges or the renderings.
+func TestFlatCeilingRidgeDegenerate(t *testing.T) {
+	m := &Model{
+		Platform: "degenerate",
+		Compute:  []ComputeCeiling{{Name: "peak", GFLOPS: 10}},
+		Memory: []MemoryCeiling{
+			{Name: "flat", GiBps: 0},
+			{Name: "DRAM", GiBps: 5},
+		},
+	}
+	rs := m.Ridges()
+	if len(rs) != 2 {
+		t.Fatalf("got %d ridges, want 2", len(rs))
+	}
+	if !math.IsInf(rs[0].AI, 1) {
+		t.Errorf("flat ceiling ridge = %v, want +Inf", rs[0].AI)
+	}
+	if math.IsNaN(rs[0].AI) || math.IsNaN(rs[1].AI) {
+		t.Fatalf("ridge computation produced NaN: %+v", rs)
+	}
+	if want := 10 / (5 * float64(1<<30) / 1e9); math.Abs(rs[1].AI-want) > 1e-12 {
+		t.Errorf("healthy ceiling ridge = %v, want %v", rs[1].AI, want)
+	}
+	// A fully flat model: the envelope ridge itself degenerates to +Inf
+	// (memory-bound at every finite intensity) without panicking.
+	flat := &Model{
+		Compute: []ComputeCeiling{{Name: "peak", GFLOPS: 10}},
+		Memory:  []MemoryCeiling{{Name: "flat", GiBps: 0}},
+	}
+	if r := flat.Ridge(); !math.IsInf(r, 1) {
+		t.Errorf("flat model ridge = %v, want +Inf", r)
+	}
+	// Renderings must survive the degenerate roof.
+	if s := m.Summary(); !strings.Contains(s, "ridge") {
+		t.Errorf("summary incomplete: %q", s)
+	}
+	_ = m.ASCIIPlot(60, 12)
+	_ = m.SVGPlot(300, 200)
+}

@@ -27,6 +27,14 @@ type LoopResult struct {
 	GFLOPS  float64
 	GiBps   float64
 	AI      float64
+
+	// Per-cache-level traffic observed during the baseline (phase 1)
+	// run via the runtime's traffic probe: bytes the region demanded of
+	// L1D, moved on the L1<->L2 bus, and moved on the DRAM channel.
+	// These feed the hierarchical roofline's per-level points.
+	L1Bytes   uint64
+	L2Bytes   uint64
+	DRAMBytes uint64
 }
 
 // OverheadRatio reports instrumented/baseline time.
@@ -66,10 +74,18 @@ func (r *RunResult) LoopByFunc(name string) (*LoopResult, bool) {
 // compile per (platform pipeline, workload) pair.
 func RunTwoPhase(m *vm.Machine, entry string, args []uint64) (*RunResult, error) {
 	rt := mperfrt.New(func() uint64 { return m.Hart().Core.Cycles() })
+	// The traffic probe reads the hierarchy's cumulative per-level byte
+	// counters; the runtime snapshots them around each activation. Pure
+	// observation: the execution path is identical with or without it.
+	hier := m.Hart().Core.Mem()
+	rt.SetTrafficProbe(func() (uint64, uint64, uint64) {
+		return hier.L1Bytes, hier.L2Bytes, hier.DRAM().Bytes
+	})
 	m.SetRuntime(rt)
 
 	// Phase 1: baseline. Each phase starts with cold caches, as the
-	// separate process executions of the real workflow would.
+	// separate process executions of the real workflow would. Per-level
+	// traffic is attributed here, on the faithful (uninstrumented) run.
 	m.Hart().Core.Mem().Reset()
 	rt.SetInstrumented(false)
 	if _, err := m.Run(entry, args...); err != nil {
@@ -77,9 +93,11 @@ func RunTwoPhase(m *vm.Machine, entry string, args []uint64) (*RunResult, error)
 	}
 	baseline := make(map[int64]uint64)
 	invocations := make(map[int64]uint64)
+	traffic := make(map[int64][3]uint64)
 	for _, st := range rt.All() {
 		baseline[st.LoopID] = st.Cycles
 		invocations[st.LoopID] = st.Invocations
+		traffic[st.LoopID] = [3]uint64{st.L1Bytes, st.L2Bytes, st.DRAMBytes}
 	}
 
 	// Phase 2: instrumented.
@@ -104,12 +122,16 @@ func RunTwoPhase(m *vm.Machine, entry string, args []uint64) (*RunResult, error)
 			return nil, fmt.Errorf("roofline: region %d (%s) ran only in phase 2; workload not deterministic",
 				st.LoopID, meta.FuncName)
 		}
+		tr := traffic[st.LoopID]
 		lr := LoopResult{
 			Meta:               meta,
 			BaselineCycles:     base,
 			InstrumentedCycles: st.Cycles,
 			Counts:             *st,
 			Seconds:            float64(base) / freq,
+			L1Bytes:            tr[0],
+			L2Bytes:            tr[1],
+			DRAMBytes:          tr[2],
 		}
 		if lr.Seconds > 0 {
 			lr.GFLOPS = float64(st.FPOps) / lr.Seconds / 1e9

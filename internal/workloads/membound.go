@@ -1,0 +1,471 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"mperf/internal/ir"
+	"mperf/internal/vm"
+)
+
+// This file holds the memory-bound kernel suite (after Volokitin et
+// al.'s study of memory-bound kernels on RISC-V, PAPERS.md): the three
+// remaining STREAM variants, irregular gather/scatter, a CSR SpMV, and
+// a pointer chase. Together with triad/memset they give the
+// hierarchical roofline per-level ceilings something to classify — each
+// kernel stresses a different level of the hierarchy (streams saturate
+// bandwidth, gather/scatter defeat spatial locality, the chase defeats
+// memory-level parallelism entirely).
+
+// BuildStreamCopy adds `void stream_copy(ptr a, ptr b, i64 n)` — the
+// STREAM copy a[i] = b[i] over f32: pure bandwidth, zero FLOPs.
+func BuildStreamCopy(mod *ir.Module) *ir.Func {
+	f := mod.NewFunc("stream_copy", ir.Void,
+		ir.NewParam("a", ir.Ptr), ir.NewParam("b", ir.Ptr), ir.NewParam("n", ir.I64))
+	f.SourceFile = "stream.c"
+	f.SourceLine = 7
+	f.SetHint("trip_multiple.loop", 16)
+	lp := startLoop(f, f.Params[2])
+	v := lp.b.Load(ir.F32, lp.b.GEP(f.Params[1], lp.iv, 4))
+	lp.b.Store(v, lp.b.GEP(f.Params[0], lp.iv, 4))
+	lp.finish()
+	lp.b.RetVoid()
+	return f
+}
+
+// BuildStreamScale adds `void stream_scale(ptr a, ptr b, f32 s, i64 n)`
+// — the STREAM scale a[i] = s·b[i].
+func BuildStreamScale(mod *ir.Module) *ir.Func {
+	f := mod.NewFunc("stream_scale", ir.Void,
+		ir.NewParam("a", ir.Ptr), ir.NewParam("b", ir.Ptr),
+		ir.NewParam("s", ir.F32), ir.NewParam("n", ir.I64))
+	f.SourceFile = "stream.c"
+	f.SourceLine = 12
+	f.SetHint("trip_multiple.loop", 16)
+	lp := startLoop(f, f.Params[3])
+	v := lp.b.Load(ir.F32, lp.b.GEP(f.Params[1], lp.iv, 4))
+	r := lp.b.FMul(f.Params[2], v)
+	lp.b.Store(r, lp.b.GEP(f.Params[0], lp.iv, 4))
+	lp.finish()
+	lp.b.RetVoid()
+	return f
+}
+
+// BuildStreamAdd adds `void stream_add(ptr a, ptr b, ptr c, i64 n)` —
+// the STREAM add a[i] = b[i] + c[i]: three streams, one FLOP.
+func BuildStreamAdd(mod *ir.Module) *ir.Func {
+	f := mod.NewFunc("stream_add", ir.Void,
+		ir.NewParam("a", ir.Ptr), ir.NewParam("b", ir.Ptr), ir.NewParam("c", ir.Ptr),
+		ir.NewParam("n", ir.I64))
+	f.SourceFile = "stream.c"
+	f.SourceLine = 16
+	f.SetHint("trip_multiple.loop", 16)
+	lp := startLoop(f, f.Params[3])
+	bv := lp.b.Load(ir.F32, lp.b.GEP(f.Params[1], lp.iv, 4))
+	cv := lp.b.Load(ir.F32, lp.b.GEP(f.Params[2], lp.iv, 4))
+	r := lp.b.FAdd(bv, cv)
+	lp.b.Store(r, lp.b.GEP(f.Params[0], lp.iv, 4))
+	lp.finish()
+	lp.b.RetVoid()
+	return f
+}
+
+// BuildGather adds `void gather(ptr a, ptr b, ptr idx, i64 n)` —
+// a[i] = b[idx[i]]: the load address depends on loaded data, so the
+// vectorizer declines it (non-affine address) and spatial locality in b
+// is whatever the index pattern leaves.
+func BuildGather(mod *ir.Module) *ir.Func {
+	f := mod.NewFunc("gather", ir.Void,
+		ir.NewParam("a", ir.Ptr), ir.NewParam("b", ir.Ptr), ir.NewParam("idx", ir.Ptr),
+		ir.NewParam("n", ir.I64))
+	f.SourceFile = "gather.c"
+	f.SourceLine = 6
+	lp := startLoop(f, f.Params[3])
+	iv := lp.b.Load(ir.I64, lp.b.GEP(f.Params[2], lp.iv, 8))
+	v := lp.b.Load(ir.F32, lp.b.GEP(f.Params[1], iv, 4))
+	lp.b.Store(v, lp.b.GEP(f.Params[0], lp.iv, 4))
+	lp.finish()
+	lp.b.RetVoid()
+	return f
+}
+
+// BuildScatter adds `void scatter(ptr a, ptr b, ptr idx, i64 n)` —
+// a[idx[i]] = b[i]: the dual of gather, with the irregularity on the
+// store stream.
+func BuildScatter(mod *ir.Module) *ir.Func {
+	f := mod.NewFunc("scatter", ir.Void,
+		ir.NewParam("a", ir.Ptr), ir.NewParam("b", ir.Ptr), ir.NewParam("idx", ir.Ptr),
+		ir.NewParam("n", ir.I64))
+	f.SourceFile = "scatter.c"
+	f.SourceLine = 6
+	lp := startLoop(f, f.Params[3])
+	iv := lp.b.Load(ir.I64, lp.b.GEP(f.Params[2], lp.iv, 8))
+	v := lp.b.Load(ir.F32, lp.b.GEP(f.Params[1], lp.iv, 4))
+	lp.b.Store(v, lp.b.GEP(f.Params[0], iv, 4))
+	lp.finish()
+	lp.b.RetVoid()
+	return f
+}
+
+// BuildSpMV adds the CSR sparse matrix-vector product
+// `void spmv(ptr y, ptr val, ptr col, ptr rowptr, ptr x, i64 rows)`:
+//
+//	for (r = 0; r < rows; r++) {
+//	  float sum = 0;
+//	  for (k = rowptr[r]; k < rowptr[r+1]; k++)
+//	    sum += val[k] * x[col[k]];
+//	  y[r] = sum;
+//	}
+//
+// Empty rows are legal: the inner loop is guarded, so a row with no
+// nonzeros stores 0 without entering it.
+func BuildSpMV(mod *ir.Module) *ir.Func {
+	f := mod.NewFunc("spmv", ir.Void,
+		ir.NewParam("y", ir.Ptr), ir.NewParam("val", ir.Ptr), ir.NewParam("col", ir.Ptr),
+		ir.NewParam("rowptr", ir.Ptr), ir.NewParam("x", ir.Ptr), ir.NewParam("rows", ir.I64))
+	f.SourceFile = "spmv.c"
+	f.SourceLine = 18
+
+	y, val, col, rowptr, x, rows := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4], f.Params[5]
+	one := ir.ConstInt(ir.I64, 1)
+	zero := ir.ConstInt(ir.I64, 0)
+	fzero := ir.ConstFloat(ir.F32, 0)
+
+	b := ir.NewBuilder(f)
+	entry := b.NewBlock("entry")
+	rloop := f.NewBlock("rloop")
+	kloop := f.NewBlock("kloop")
+	kexit := f.NewBlock("kexit")
+	rlatch := f.NewBlock("rlatch")
+	exit := f.NewBlock("exit")
+
+	b.SetBlock(entry)
+	b.Br(rloop)
+
+	b.SetBlock(rloop)
+	r := b.Phi(ir.I64)
+	r.SetName("r")
+	k0 := b.Load(ir.I64, b.GEP(rowptr, r, 8))
+	k1 := b.Load(ir.I64, b.GEP(rowptr, b.Add(r, one), 8))
+	hasNZ := b.ICmp(ir.PredLT, k0, k1)
+	b.CondBr(hasNZ, kloop, kexit)
+
+	b.SetBlock(kloop)
+	k := b.Phi(ir.I64)
+	k.SetName("k")
+	sum := b.Phi(ir.F32)
+	sum.SetName("sum")
+	v := b.Load(ir.F32, b.GEP(val, k, 4))
+	cIdx := b.Load(ir.I64, b.GEP(col, k, 8))
+	xv := b.Load(ir.F32, b.GEP(x, cIdx, 4))
+	sumNext := b.FMA(v, xv, sum)
+	kNext := b.Add(k, one)
+	kc := b.ICmp(ir.PredLT, kNext, k1)
+	b.CondBr(kc, kloop, kexit)
+	ir.AddIncoming(k, k0, rloop)
+	ir.AddIncoming(k, kNext, kloop)
+	ir.AddIncoming(sum, fzero, rloop)
+	ir.AddIncoming(sum, sumNext, kloop)
+
+	b.SetBlock(kexit)
+	sumOut := b.Phi(ir.F32)
+	sumOut.SetName("sumOut")
+	ir.AddIncoming(sumOut, fzero, rloop)
+	ir.AddIncoming(sumOut, sumNext, kloop)
+	b.Store(sumOut, b.GEP(y, r, 4))
+	b.Br(rlatch)
+
+	b.SetBlock(rlatch)
+	rNext := b.Add(r, one)
+	rc := b.ICmp(ir.PredLT, rNext, rows)
+	b.CondBr(rc, rloop, exit)
+	ir.AddIncoming(r, zero, entry)
+	ir.AddIncoming(r, rNext, rlatch)
+
+	b.SetBlock(exit)
+	b.RetVoid()
+	return f
+}
+
+// BuildPtrChase adds `i64 ptrchase(ptr next, i64 start, i64 n)` — the
+// classic dependent-load chain idx = next[idx], n steps. Every load's
+// address depends on the previous load's value, so no amount of
+// memory-level parallelism hides the latency; the kernel measures the
+// hierarchy's round-trip time rather than its bandwidth.
+func BuildPtrChase(mod *ir.Module) *ir.Func {
+	f := mod.NewFunc("ptrchase", ir.I64,
+		ir.NewParam("next", ir.Ptr), ir.NewParam("start", ir.I64), ir.NewParam("n", ir.I64))
+	f.SourceFile = "chase.c"
+	f.SourceLine = 9
+	lp := startLoop(f, f.Params[2])
+	cur := lp.b.Phi(ir.I64)
+	cur.SetName("cur")
+	nxt := lp.b.Load(ir.I64, lp.b.GEP(f.Params[0], cur, 8))
+	ir.AddIncoming(cur, f.Params[1], lp.entry)
+	ir.AddIncoming(cur, nxt, lp.loop)
+	lp.finish()
+	lp.b.Ret(nxt)
+	return f
+}
+
+// seedU64 fills an i64 global with the given values.
+func seedU64(m *vm.Machine, name string, vals []uint64) error {
+	addr, err := m.GlobalAddr(name)
+	if err != nil {
+		return err
+	}
+	for i, v := range vals {
+		if err := m.WriteU64(addr+uint64(i*8), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterIndices is the deterministic index pattern gather and scatter
+// share: (i*7+3) mod n spreads consecutive iterations across the array
+// so consecutive accesses land on different lines for any n > ~16.
+func scatterIndices(n int) []uint64 {
+	idx := make([]uint64, n)
+	for i := range idx {
+		idx[i] = uint64((i*7 + 3) % n)
+	}
+	return idx
+}
+
+// chaseOrder builds a single-cycle permutation for the pointer chase:
+// next[i] = (i + stride) mod n with gcd(stride, n) = 1, stride chosen
+// near n/2 so successive loads jump half the array.
+func chaseOrder(n int) []uint64 {
+	stride := n/2 + 1
+	if stride < 1 {
+		stride = 1
+	}
+	for gcd(stride, n) != 1 {
+		stride++
+	}
+	next := make([]uint64, n)
+	for i := range next {
+		next[i] = uint64((i + stride) % n)
+	}
+	return next
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// StreamCopySpec wires the STREAM copy over n f32 elements.
+func StreamCopySpec(n int) *Spec {
+	return &Spec{
+		Name:        "stream_copy",
+		Description: fmt.Sprintf("STREAM copy over %d f32 elements (pure bandwidth, zero FLOPs)", n),
+		Entry:       "stream_copy",
+		Build: func(mod *ir.Module) error {
+			BuildStreamCopy(mod)
+			mod.NewGlobal("cpa", ir.F32, n)
+			mod.NewGlobal("cpb", ir.F32, n)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error { return SeedF32(m, "cpb", n) },
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "cpa", "cpb")
+			if err != nil {
+				return nil, err
+			}
+			return append(addrs, uint64(n)), nil
+		},
+	}
+}
+
+// StreamScaleSpec wires the STREAM scale a[i] = s·b[i] over n f32
+// elements.
+func StreamScaleSpec(n int) *Spec {
+	const scale = float32(0.75)
+	return &Spec{
+		Name:        "stream_scale",
+		Description: fmt.Sprintf("STREAM scale over %d f32 elements (bandwidth kernel)", n),
+		Entry:       "stream_scale",
+		Build: func(mod *ir.Module) error {
+			BuildStreamScale(mod)
+			mod.NewGlobal("sla", ir.F32, n)
+			mod.NewGlobal("slb", ir.F32, n)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error { return SeedF32(m, "slb", n) },
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "sla", "slb")
+			if err != nil {
+				return nil, err
+			}
+			return append(addrs, uint64(math.Float32bits(scale)), uint64(n)), nil
+		},
+	}
+}
+
+// StreamAddSpec wires the STREAM add a[i] = b[i] + c[i] over n f32
+// elements.
+func StreamAddSpec(n int) *Spec {
+	return &Spec{
+		Name:        "stream_add",
+		Description: fmt.Sprintf("STREAM add over %d f32 elements (three-stream bandwidth kernel)", n),
+		Entry:       "stream_add",
+		Build: func(mod *ir.Module) error {
+			BuildStreamAdd(mod)
+			mod.NewGlobal("ada", ir.F32, n)
+			mod.NewGlobal("adb", ir.F32, n)
+			mod.NewGlobal("adc", ir.F32, n)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error {
+			if err := SeedF32(m, "adb", n); err != nil {
+				return err
+			}
+			return SeedF32(m, "adc", n)
+		},
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "ada", "adb", "adc")
+			if err != nil {
+				return nil, err
+			}
+			return append(addrs, uint64(n)), nil
+		},
+	}
+}
+
+// GatherSpec wires the irregular gather a[i] = b[idx[i]] over n
+// elements.
+func GatherSpec(n int) *Spec {
+	return &Spec{
+		Name:        "gather",
+		Description: fmt.Sprintf("irregular gather over %d f32 elements (data-dependent loads)", n),
+		Entry:       "gather",
+		Build: func(mod *ir.Module) error {
+			BuildGather(mod)
+			mod.NewGlobal("ga", ir.F32, n)
+			mod.NewGlobal("gb", ir.F32, n)
+			mod.NewGlobal("gidx", ir.I64, n)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error {
+			if err := SeedF32(m, "gb", n); err != nil {
+				return err
+			}
+			return seedU64(m, "gidx", scatterIndices(n))
+		},
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "ga", "gb", "gidx")
+			if err != nil {
+				return nil, err
+			}
+			return append(addrs, uint64(n)), nil
+		},
+	}
+}
+
+// ScatterSpec wires the irregular scatter a[idx[i]] = b[i] over n
+// elements.
+func ScatterSpec(n int) *Spec {
+	return &Spec{
+		Name:        "scatter",
+		Description: fmt.Sprintf("irregular scatter over %d f32 elements (data-dependent stores)", n),
+		Entry:       "scatter",
+		Build: func(mod *ir.Module) error {
+			BuildScatter(mod)
+			mod.NewGlobal("sa", ir.F32, n)
+			mod.NewGlobal("sb", ir.F32, n)
+			mod.NewGlobal("sidx", ir.I64, n)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error {
+			if err := SeedF32(m, "sb", n); err != nil {
+				return err
+			}
+			return seedU64(m, "sidx", scatterIndices(n))
+		},
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "sa", "sb", "sidx")
+			if err != nil {
+				return nil, err
+			}
+			return append(addrs, uint64(n)), nil
+		},
+	}
+}
+
+// spmvNNZPerRow fixes the synthetic CSR matrix's density: 8 nonzeros
+// in every row, columns scattered with the (k*7+3) mod n pattern.
+const spmvNNZPerRow = 8
+
+// SpMVSpec wires the CSR sparse matrix-vector product over a rows×rows
+// matrix with spmvNNZPerRow nonzeros per row.
+func SpMVSpec(rows int) *Spec {
+	nnz := rows * spmvNNZPerRow
+	return &Spec{
+		Name:        "spmv",
+		Description: fmt.Sprintf("CSR SpMV, %d rows × %d nnz/row (irregular memory-bound kernel)", rows, spmvNNZPerRow),
+		Entry:       "spmv",
+		Build: func(mod *ir.Module) error {
+			BuildSpMV(mod)
+			mod.NewGlobal("sy", ir.F32, rows)
+			mod.NewGlobal("sval", ir.F32, nnz)
+			mod.NewGlobal("scol", ir.I64, nnz)
+			mod.NewGlobal("srowptr", ir.I64, rows+1)
+			mod.NewGlobal("sx", ir.F32, rows)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error {
+			if err := SeedF32(m, "sval", nnz); err != nil {
+				return err
+			}
+			if err := SeedF32(m, "sx", rows); err != nil {
+				return err
+			}
+			cols := make([]uint64, nnz)
+			for k := range cols {
+				cols[k] = uint64((k*7 + 3) % rows)
+			}
+			if err := seedU64(m, "scol", cols); err != nil {
+				return err
+			}
+			rp := make([]uint64, rows+1)
+			for r := range rp {
+				rp[r] = uint64(r * spmvNNZPerRow)
+			}
+			return seedU64(m, "srowptr", rp)
+		},
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			addrs, err := globalAddrs(m, "sy", "sval", "scol", "srowptr", "sx")
+			if err != nil {
+				return nil, err
+			}
+			return append(addrs, uint64(rows)), nil
+		},
+	}
+}
+
+// PtrChaseSpec wires the dependent-load pointer chase over an n-entry
+// index cycle, walked for n steps.
+func PtrChaseSpec(n int) *Spec {
+	return &Spec{
+		Name:        "ptrchase",
+		Description: fmt.Sprintf("pointer chase over %d-entry cycle (latency-bound, zero MLP)", n),
+		Entry:       "ptrchase",
+		Build: func(mod *ir.Module) error {
+			BuildPtrChase(mod)
+			mod.NewGlobal("chain", ir.I64, n)
+			return nil
+		},
+		Seed: func(m *vm.Machine) error { return seedU64(m, "chain", chaseOrder(n)) },
+		Args: func(m *vm.Machine) ([]uint64, error) {
+			chain, err := m.GlobalAddr("chain")
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{chain, 0, uint64(n)}, nil
+		},
+	}
+}

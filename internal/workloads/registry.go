@@ -159,6 +159,15 @@ var registry = map[string]Factory{
 		}
 		return MemsetSpec(words), nil
 	},
+	// The memory-bound suite (Volokitin et al., PAPERS.md); all sized
+	// by Params.Elems like the other streaming kernels.
+	"stream_copy":  func(p Params) (*Spec, error) { return StreamCopySpec(p.elems()), nil },
+	"stream_scale": func(p Params) (*Spec, error) { return StreamScaleSpec(p.elems()), nil },
+	"stream_add":   func(p Params) (*Spec, error) { return StreamAddSpec(p.elems()), nil },
+	"gather":       func(p Params) (*Spec, error) { return GatherSpec(p.elems()), nil },
+	"scatter":      func(p Params) (*Spec, error) { return ScatterSpec(p.elems()), nil },
+	"spmv":         func(p Params) (*Spec, error) { return SpMVSpec(p.elems()), nil },
+	"ptrchase":     func(p Params) (*Spec, error) { return PtrChaseSpec(p.elems()), nil },
 }
 
 // Register adds a named workload factory. It errors on duplicates so

@@ -199,8 +199,93 @@ func (rooflineCollector) Collect(s *Session, p *Profile) error {
 	out.PeakGFLOPS = model.PeakGFLOPS()
 	out.MemoryGiBps = model.PeakGiBps()
 	out.RidgeAI = model.Ridge()
+	if s.hierRoof {
+		collectHierarchical(s, res, out)
+	}
 	p.Roofline = out
 	return nil
+}
+
+// collectHierarchical builds the L1/L2/DRAM extension from the
+// per-level traffic the two-phase runner attributed during phase 1.
+// It only appends to the result — the legacy single-ceiling fields are
+// already final and stay byte-identical (pinned catalog-wide by
+// TestHierarchicalRooflineInvariance).
+func collectHierarchical(s *Session, res *roofline.RunResult, out *RooflineResult) {
+	plat := s.plat
+	freq := plat.Core.FreqHz
+	toGiBps := func(bytesPerCycle float64) float64 {
+		return bytesPerCycle * freq / (1 << 30)
+	}
+	hm := &roofline.Model{
+		Platform: plat.Name,
+		Compute: []roofline.ComputeCeiling{
+			{Name: "theoretical peak", GFLOPS: plat.TheoreticalPeakGFLOPS},
+		},
+		Memory: []roofline.MemoryCeiling{
+			{Name: "L1", GiBps: toGiBps(plat.Core.Mem.L1D.PeakBytesPerCycle())},
+			{Name: "L2", GiBps: toGiBps(plat.Core.Mem.L2.PeakBytesPerCycle())},
+			{Name: "DRAM", GiBps: plat.Core.Mem.DRAM.BytesPerCycle * freq / (1 << 30)},
+		},
+	}
+	hier := &HierarchicalRoofline{}
+	for _, r := range hm.Ridges() {
+		var c *roofline.MemoryCeiling
+		for i := range hm.Memory {
+			if hm.Memory[i].Name == r.Name {
+				c = &hm.Memory[i]
+			}
+		}
+		hier.Ceilings = append(hier.Ceilings, HierarchicalCeiling{
+			Level: r.Name, GiBps: c.GiBps, RidgeAI: r.AI,
+		})
+	}
+	for _, l := range res.Loops {
+		name := l.Meta.FuncName
+		if l.Meta.Header != "" {
+			name = fmt.Sprintf("%s:%s", l.Meta.FuncName, l.Meta.Header)
+		}
+		hp := HierarchicalPoint{Name: name, GFLOPS: l.GFLOPS}
+		// The binding ceiling is the one this region utilizes hardest:
+		// compute efficiency versus per-level bandwidth utilization.
+		bound, bestUtil := "compute", 0.0
+		if hm.PeakGFLOPS() > 0 {
+			bestUtil = l.GFLOPS / hm.PeakGFLOPS()
+		}
+		levels := []struct {
+			level string
+			bytes uint64
+		}{{"L1", l.L1Bytes}, {"L2", l.L2Bytes}, {"DRAM", l.DRAMBytes}}
+		for i, lv := range levels {
+			st := HierarchicalLevelStat{Level: lv.level, Bytes: lv.bytes}
+			if lv.bytes > 0 {
+				st.AI = float64(l.Counts.FPOps) / float64(lv.bytes)
+				if l.Seconds > 0 {
+					st.GiBps = float64(lv.bytes) / l.Seconds / (1 << 30)
+				}
+				// Zero-FLOP kernels have AI 0 at every level; they carry
+				// bandwidth data in the JSON but cannot sit on a log-log
+				// chart, so only FLOP-bearing points are plotted.
+				if st.AI > 0 {
+					hm.AddPoint(roofline.Point{
+						Name:   fmt.Sprintf("%s @%s", name, lv.level),
+						AI:     st.AI,
+						GFLOPS: l.GFLOPS,
+						Source: "miniperf (IR)",
+					})
+				}
+			}
+			if ceil := hm.Memory[i].GiBps; ceil > 0 && st.GiBps/ceil > bestUtil {
+				bestUtil = st.GiBps / ceil
+				bound = lv.level
+			}
+			hp.Levels = append(hp.Levels, st)
+		}
+		hp.Bound = bound
+		hier.Points = append(hier.Points, hp)
+	}
+	out.Hierarchical = hier
+	out.HierModel = hm
 }
 
 // topdownCollector counts the level-1 TMA event set and computes the

@@ -89,8 +89,17 @@ type RooflineResult struct {
 	RidgeAI     float64         `json:"ridge_ai"`
 	Points      []RooflinePoint `json:"points"`
 
+	// Hierarchical is the L1/L2/DRAM extension, collected only when the
+	// session opts in (WithHierarchicalRoofline). It is purely additive:
+	// the fields above are byte-identical with or without it.
+	Hierarchical *HierarchicalRoofline `json:"hierarchical,omitempty"`
+
 	// Model is the full chart object for rendering. Not serialized.
 	Model *roofline.Model `json:"-"`
+
+	// HierModel is the three-ceiling chart object for rendering the
+	// hierarchical view. Not serialized; nil unless collected.
+	HierModel *roofline.Model `json:"-"`
 }
 
 // RooflinePoint is one measured region placed on the model.
@@ -101,6 +110,41 @@ type RooflinePoint struct {
 	Source     string  `json:"source"`
 	Bound      string  `json:"bound"`
 	Efficiency float64 `json:"efficiency"`
+}
+
+// HierarchicalRoofline is the hierarchical (per-cache-level) roofline:
+// one bandwidth ceiling per level of the memory hierarchy, and for
+// every measured region one point per level, each with its own
+// arithmetic intensity (FLOPs per byte moved at that level, Yang's
+// hierarchical-roofline methodology).
+type HierarchicalRoofline struct {
+	Ceilings []HierarchicalCeiling `json:"ceilings"`
+	Points   []HierarchicalPoint   `json:"points"`
+}
+
+// HierarchicalCeiling is one level's bandwidth roof.
+type HierarchicalCeiling struct {
+	Level   string  `json:"level"` // "L1", "L2", "DRAM"
+	GiBps   float64 `json:"gibps"`
+	RidgeAI float64 `json:"ridge_ai"` // where this roof meets the compute roof
+}
+
+// HierarchicalPoint is one measured region with per-level traffic.
+type HierarchicalPoint struct {
+	Name   string                  `json:"name"`
+	GFLOPS float64                 `json:"gflops"`
+	Levels []HierarchicalLevelStat `json:"levels"`
+	// Bound names the ceiling with the highest utilization — the level
+	// (or "compute") that limits this region hardest.
+	Bound string `json:"bound"`
+}
+
+// HierarchicalLevelStat is one region's traffic through one level.
+type HierarchicalLevelStat struct {
+	Level string  `json:"level"`
+	Bytes uint64  `json:"bytes"`
+	AI    float64 `json:"ai"`    // FLOPs per byte moved at this level
+	GiBps float64 `json:"gibps"` // achieved bandwidth at this level
 }
 
 // TopDownResult is the level-1 Top-Down slot breakdown.

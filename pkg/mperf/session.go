@@ -85,6 +85,7 @@ type config struct {
 	cache       *ProgramCache
 	execStats   *vm.ExecStats
 	artifactDir *string
+	hierRoof    bool
 }
 
 // Option configures a Session at Open time.
@@ -143,6 +144,16 @@ func WithArtifactDir(dir string) Option {
 	return func(c *config) { c.artifactDir = &dir }
 }
 
+// WithHierarchicalRoofline makes the roofline collector additionally
+// emit the hierarchical L1/L2/DRAM model (per-level bandwidth ceilings
+// and per-level arithmetic-intensity points) under the profile's
+// "hierarchical" key. The legacy single-ceiling roofline output is
+// byte-identical with or without this option —
+// TestHierarchicalRooflineInvariance pins that catalog-wide.
+func WithHierarchicalRoofline() Option {
+	return func(c *config) { c.hierRoof = true }
+}
+
 // ExecStats aliases the VM's superblock coverage accumulator so
 // callers (miniperf -vm-stats) need not import internal packages.
 type ExecStats = vm.ExecStats
@@ -166,6 +177,7 @@ type Session struct {
 	statEvents []isa.EventCode
 	statLabels []string
 	execStats  *vm.ExecStats
+	hierRoof   bool
 
 	// compiled/hits/diskHits track this session's traffic through the
 	// program cache; Session.Run reports the per-run delta as
@@ -201,7 +213,7 @@ func Open(platformName, workloadName string, opts ...Option) (*Session, error) {
 		}
 	}
 	s := &Session{plat: plat, spec: spec, params: cfg.params, cache: cache,
-		sampleFreq: cfg.sampleFreq, execStats: cfg.execStats}
+		sampleFreq: cfg.sampleFreq, execStats: cfg.execStats, hierRoof: cfg.hierRoof}
 	names := cfg.statEvents
 	if len(names) == 0 {
 		names = defaultStatEvents
